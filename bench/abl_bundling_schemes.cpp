@@ -1,0 +1,66 @@
+// Ablation (§III.A / [8]) — SRAM timing schemes across the Vdd range.
+//
+// fixed inverter replica vs banded replicas (needs a voltage reference)
+// vs duplicated-column "smart latency bundling" vs genuine completion
+// detection: failure onset and timing overhead of each.
+#include <cstdio>
+
+#include "analysis/sweep.hpp"
+#include "analysis/table.hpp"
+#include "device/delay_model.hpp"
+#include "gates/energy_meter.hpp"
+#include "sram/bundled_sram.hpp"
+#include "supply/battery.hpp"
+
+int main() {
+  using namespace emc;
+  analysis::print_banner(
+      "Ablation — SRAM timing schemes: replica variants vs completion "
+      "detection");
+
+  sim::Kernel kernel;
+  device::DelayModel model{device::Tech::umc90()};
+  supply::Battery bat(kernel, "vdd", 1.0);
+  gates::EnergyMeter meter(kernel, device::Tech::umc90(), &bat);
+  gates::Context ctx{kernel, model, bat, &meter};
+
+  sram::BundledSramParams fixed;
+  sram::BundledSramParams banded;
+  banded.scheme = sram::BundlingScheme::kBandedReplica;
+  sram::BundledSramParams column;
+  column.scheme = sram::BundlingScheme::kColumnReplica;
+  sram::BundledSram s_fixed(ctx, "fixed", fixed);
+  sram::BundledSram s_banded(ctx, "banded", banded);
+  sram::BundledSram s_column(ctx, "column", column);
+
+  analysis::Table table({"scheme", "fails_below_V", "wait_overhead_1V",
+                         "wait_overhead_0.3V", "needs_reference"});
+  auto overhead = [&](sram::BundledSram& s, double v) {
+    return s.replica_delay_s(v) / s.true_read_delay_s(v);
+  };
+  table.add_row({"fixed-replica",
+                 analysis::Table::num(s_fixed.failure_onset_vdd(), 3),
+                 analysis::Table::num(overhead(s_fixed, 1.0), 3),
+                 analysis::Table::num(overhead(s_fixed, 0.3), 3), "no"});
+  table.add_row({"banded-replica",
+                 analysis::Table::num(s_banded.failure_onset_vdd(), 3),
+                 analysis::Table::num(overhead(s_banded, 1.0), 3),
+                 analysis::Table::num(overhead(s_banded, 0.3), 3),
+                 "YES (band select)"});
+  table.add_row({"column-replica [8]",
+                 analysis::Table::num(s_column.failure_onset_vdd(), 3),
+                 analysis::Table::num(overhead(s_column, 1.0), 3),
+                 analysis::Table::num(overhead(s_column, 0.3), 3), "no"});
+  table.add_row({"completion detection [7]", "never (tracks truth)", "1.0",
+                 "1.0", "no"});
+  table.print();
+
+  std::printf(
+      "\nThe fixed replica dies at %.2f V; banding survives lower but "
+      "imports the voltage\nreference the paper wants to eliminate; the "
+      "column replica tracks but wastes a\ncolumn and still guards with "
+      "margin. Genuine completion detection waits exactly\nas long as "
+      "the data needs — at any voltage.\n",
+      s_fixed.failure_onset_vdd());
+  return 0;
+}

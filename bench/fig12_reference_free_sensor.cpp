@@ -1,0 +1,107 @@
+// Fig. 12 / §III.C — reference-free voltage sensor.
+//
+// SRAM-cell read races an inverter-chain ruler; the completion event
+// freezes a thermometer code. Sweeps 0.19-1.0 V, calibrates, verifies on
+// an offset grid, and runs a Monte-Carlo mismatch analysis. Anchors:
+// works over 0.2-1 V; ~10 mV accuracy; codes are the Fig. 5 ratio.
+#include <cstdio>
+#include <optional>
+
+#include "analysis/csv.hpp"
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+#include "device/delay_model.hpp"
+#include "gates/energy_meter.hpp"
+#include "sensor/calibration.hpp"
+#include "sensor/reference_free.hpp"
+#include "supply/battery.hpp"
+
+namespace {
+
+using namespace emc;
+
+std::optional<sensor::RefFreeReading> read_at(double vdd, int seed = 0,
+                                              double sigma = 0.0) {
+  sim::Kernel kernel;
+  device::DelayModel model{device::Tech::umc90()};
+  supply::Battery bat(kernel, "vdd", vdd);
+  gates::EnergyMeter meter(kernel, device::Tech::umc90(), &bat);
+  gates::Context ctx{kernel, model, bat, &meter};
+  sensor::RefFreeParams p;
+  sim::Rng rng(seed == 0 ? 1 : seed);
+  if (sigma > 0.0) {
+    p.ruler_vth_sigma = sigma;
+    p.cell_vth_offset = rng.gaussian(0.0, sigma);
+  }
+  sensor::ReferenceFreeSensor sensor(ctx, "rf", p,
+                                     sigma > 0.0 ? &rng : nullptr);
+  std::optional<sensor::RefFreeReading> out;
+  sensor.measure([&](const sensor::RefFreeReading& r) { out = r; });
+  kernel.run_until(sim::ms(40));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  analysis::print_banner(
+      "Fig. 12 — reference-free voltage sensor (SRAM vs inverter-chain race)");
+
+  sensor::CalibrationTable table_lut;
+  analysis::Table table({"vdd_V", "thermometer_code", "mV_per_code"});
+  analysis::CsvWriter csv({"vdd_V", "code"});
+  double prev_code = 0.0, prev_v = 0.0;
+  for (double v = 0.19; v <= 1.001; v += 0.03) {
+    const auto r = read_at(v);
+    if (!r || !r->valid) {
+      table.add_row({analysis::Table::num(v), "(not sensable)", "-"});
+      continue;
+    }
+    const double code = double(r->code);
+    const double sens =
+        prev_code > 0.0 ? 1000.0 * (v - prev_v) / (prev_code - code) : 0.0;
+    table.add_row({analysis::Table::num(v), std::to_string(r->code),
+                   prev_code > 0.0 ? analysis::Table::num(sens, 3) : "-"});
+    csv.add_row({v, code});
+    table_lut.add(code, v);
+    prev_code = code;
+    prev_v = v;
+  }
+  table.print();
+  csv.write("fig12_refree.csv");
+
+  // Accuracy: verify on an offset grid.
+  std::vector<std::pair<double, double>> verification;
+  for (double v = 0.215; v <= 0.986; v += 0.045) {
+    const auto r = read_at(v);
+    if (r && r->valid) verification.emplace_back(double(r->code), v);
+  }
+  const auto rep = sensor::evaluate_accuracy(table_lut, verification);
+  std::printf("\nCalibrated inversion over 0.2-1.0 V (%zu verification "
+              "points):\n  mean |error| %.1f mV, rms %.1f mV, worst %.1f mV\n",
+              rep.samples, rep.mean_abs_error_v * 1e3, rep.rms_error_v * 1e3,
+              rep.max_abs_error_v * 1e3);
+  analysis::print_anchor("sensor accuracy (mean abs)", 0.010,
+                         rep.mean_abs_error_v, "V");
+  analysis::print_anchor("code at 1.0 V (Fig. 5 ratio)", 50.0,
+                         double(read_at(1.0)->code), "taps");
+  analysis::print_anchor("code at 0.19 V (Fig. 5 ratio)", 158.0,
+                         double(read_at(0.19)->code), "taps");
+
+  // Monte-Carlo mismatch: 10 mV sigma on ruler + cell.
+  analysis::Accumulator spread;
+  for (int seed = 1; seed <= 10; ++seed) {
+    const auto r = read_at(0.5, seed, 0.010);
+    if (r && r->valid) spread.add(double(r->code));
+  }
+  std::printf(
+      "\nMonte-Carlo (sigma_Vth = 10 mV, 10 dies) at 0.5 V: code %.1f +/- "
+      "%.1f taps\n  -> per-die calibration absorbs the offset; residual "
+      "noise ~%.1f mV.\n",
+      spread.mean(), spread.stddev(),
+      spread.stddev() * 4.0 /* ~mV per tap at 0.5 V */);
+  std::printf(
+      "No analog circuits, no time or voltage reference: the voltage is "
+      "read as a digital code.\n");
+  return 0;
+}

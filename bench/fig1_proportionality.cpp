@@ -1,0 +1,111 @@
+// Fig. 1 — "The idea of energy-proportional computing".
+//
+// Feed increasing energy quanta to (a) a self-timed Muller-ring engine
+// that computes until the charge runs out, and (b) a clocked-equivalent
+// engine burdened with a fixed overhead power (clock tree + idle logic)
+// that must run whether or not useful work happens. The self-timed curve
+// passes near the origin — useful activity at tiny energy — while the
+// clocked curve needs a threshold quantum before any useful work appears.
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "analysis/sweep.hpp"
+#include "analysis/table.hpp"
+#include "async/pipeline.hpp"
+#include "device/delay_model.hpp"
+#include "gates/energy_meter.hpp"
+#include "supply/storage_cap.hpp"
+
+namespace {
+
+using namespace emc;
+
+// Self-timed: a Muller ring powered from a charged cap; ops until stall.
+std::uint64_t selftimed_ops(double energy_j) {
+  sim::Kernel kernel;
+  device::DelayModel model{device::Tech::umc90()};
+  const double cap_f = 200e-12;
+  const double v0 = std::sqrt(2.0 * energy_j / cap_f);
+  supply::StorageCap cap(kernel, "cap", cap_f, std::min(v0, 1.1));
+  gates::EnergyMeter meter(kernel, device::Tech::umc90(), &cap);
+  gates::Context ctx{kernel, model, cap, &meter};
+  async::MullerRing ring(ctx, "ring", 6, 2);
+  ring.start();
+  kernel.run_until(sim::ms(5));
+  return ring.ops();
+}
+
+// Clocked-equivalent: same engine but a clock/idle overhead drains the
+// quantum at a fixed rate; work only proceeds while V stays above a
+// regulator floor of 0.5 V.
+std::uint64_t clocked_ops(double energy_j) {
+  sim::Kernel kernel;
+  device::DelayModel model{device::Tech::umc90()};
+  const double cap_f = 200e-12;
+  const double v0 = std::sqrt(2.0 * energy_j / cap_f);
+  supply::StorageCap cap(kernel, "cap", cap_f, std::min(v0, 1.1));
+  gates::EnergyMeter meter(kernel, device::Tech::umc90(), &cap);
+  gates::Context ctx{kernel, model, cap, &meter};
+  async::MullerRing ring(ctx, "ring", 6, 2);
+  // Clock-tree overhead: drawn every 100 ns regardless of work.
+  const double p_clock = 60e-6;  // 60 uW of clock + idle power
+  std::function<void()> burn = [&] {
+    const double v = cap.voltage();
+    if (v <= 0.0) return;
+    const double e = p_clock * 100e-9;
+    cap.draw(e / std::max(v, 0.05), e);
+    kernel.schedule(sim::ns(100), burn);
+  };
+  kernel.schedule(0, burn);
+  ring.start();
+  std::uint64_t ops_above_floor = 0;
+  std::uint64_t last_ops = 0;
+  // Sample ops while the "regulator" is in range (clocked logic cannot
+  // ride Vdd down the way self-timed logic can).
+  std::function<void()> sample = [&] {
+    if (cap.voltage() >= 0.5) {
+      ops_above_floor += ring.ops() - last_ops;
+    }
+    last_ops = ring.ops();
+    kernel.schedule(sim::ns(100), sample);
+  };
+  kernel.schedule(0, sample);
+  kernel.set_event_cap(3'000'000);
+  kernel.run_until(sim::ms(2));
+  return ops_above_floor;
+}
+
+}  // namespace
+
+int main() {
+  analysis::print_banner(
+      "Fig. 1 — energy-proportional computing: useful ops vs energy quantum");
+  std::printf(
+      "Self-timed engine vs clocked-equivalent (fixed clock overhead, "
+      "0.5 V regulator floor).\n\n");
+
+  analysis::Table table({"energy_nJ", "selftimed_ops", "clocked_ops"});
+  std::uint64_t st_small = 0;
+  std::uint64_t ck_small = 0;
+  for (double e_nj : {0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0}) {
+    const std::uint64_t st = selftimed_ops(e_nj * 1e-9);
+    const std::uint64_t ck = clocked_ops(e_nj * 1e-9);
+    if (e_nj == 0.5) {
+      st_small = st;
+      ck_small = ck;
+    }
+    table.add_row({analysis::Table::num(e_nj), std::to_string(st),
+                   std::to_string(ck)});
+  }
+  table.print();
+
+  std::printf(
+      "\nPaper's qualitative claim: energy-proportional (self-timed) designs "
+      "generate useful\nactivity even at small amounts of energy; "
+      "conventional designs do not.\n");
+  std::printf("  at 0.5 nJ: self-timed completed %llu ops, clocked %llu.\n",
+              static_cast<unsigned long long>(st_small),
+              static_cast<unsigned long long>(ck_small));
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Fig. 3 — power-adaptive computing, the holistic view.
+//
+// Full-chain experiment: stochastic harvester -> MPPT -> storage cap ->
+// computational load (task scheduler), with the adaptive controller
+// sensing the store through a probe and modulating scheduler concurrency.
+// Compares three systems over the same 300 ms harvest trace:
+//   A. fixed-rate scheduler (traditional, energy-blind)
+//   B. energy-token scheduler, no adaptation (static concurrency)
+//   C. energy-token scheduler + adaptive concurrency control (Fig. 3)
+// Metrics: completed tasks, brown-out aborts, deadline misses, useful
+// energy per harvested joule.
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "analysis/table.hpp"
+#include "device/delay_model.hpp"
+#include "power/adaptive_controller.hpp"
+#include "power/power_meter.hpp"
+#include "sched/energy_token.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/task.hpp"
+#include "supply/harvester.hpp"
+#include "supply/mppt.hpp"
+#include "supply/storage_cap.hpp"
+
+namespace {
+
+using namespace emc;
+
+struct Outcome {
+  sched::SchedStats stats;
+  double harvested_j = 0.0;
+  std::uint64_t level_changes = 0;
+};
+
+Outcome run_system(int which, std::uint64_t seed) {
+  sim::Kernel kernel;
+  sim::Rng rng(seed);
+  device::DelayModel model{device::Tech::umc90()};
+  supply::StorageCap store(kernel, "store", 2e-6, 0.8);
+  store.set_wake_threshold(0.16);
+  store.set_max_voltage(1.0);
+  supply::Harvester harvester(
+      kernel, supply::HarvesterProfile::vibration_200uw(), store, rng,
+      sim::us(10));
+  supply::MpptController mppt(kernel, harvester, supply::MpptParams{});
+  harvester.start();
+  mppt.start();
+
+  // Always-on node load (radio wake logic, retention, sensor bias):
+  // ~40 uW at 0.8 V, scaling as V^2. This is what makes over-admission
+  // dangerous — during a harvest dead-spell the store must carry this
+  // load on reserve alone, or the node loses all in-flight state.
+  std::function<void()> quiescent = [&] {
+    const double v = store.voltage();
+    if (v > 0.0) {
+      const double e = 40e-6 * (v / 0.8) * (v / 0.8) * 50e-6;
+      store.draw(e / std::max(v, 0.05), e);
+    }
+    kernel.schedule(sim::us(50), quiescent);
+  };
+  kernel.schedule(0, quiescent);
+
+  // Same workload for every system: ~270 uW offered at 0.6 V vs ~200 uW
+  // harvested — the energy constraint binds, which is the regime the
+  // holistic architecture exists for.
+  sim::Rng wl_rng(1234);
+  sched::TaskGenerator gen(0.5e-3, 1500.0, 15e-3, wl_rng);
+  auto tasks = gen.poisson(sim::ms(300));
+  for (auto& t : tasks) t.energy_per_op_j = 150e-12;
+
+  std::unique_ptr<sched::SchedulerBase> sched;
+  std::unique_ptr<sched::EnergyTokenPool> pool;
+  std::unique_ptr<power::DirectProbe> probe;
+  std::unique_ptr<power::AdaptiveController> ctl;
+
+  if (which == 0) {
+    sched = std::make_unique<sched::FixedRateScheduler>(kernel, model, store,
+                                                        4, "fixed");
+  } else {
+    pool = std::make_unique<sched::EnergyTokenPool>(store, 20e-9, 0.30);
+    sched = std::make_unique<sched::EnergyTokenScheduler>(kernel, model,
+                                                          store, 4, *pool);
+    if (which == 2) {
+      probe = std::make_unique<power::DirectProbe>(store);
+      power::AdaptiveParams ap;
+      ap.control_period = sim::us(200);
+      ctl = std::make_unique<power::AdaptiveController>(
+          kernel, *probe, ap, [&s = *sched](std::uint32_t level) {
+            s.set_max_concurrency(level == 0 ? 0 : level);
+          });
+      ctl->start();
+    }
+  }
+  sched->load(std::move(tasks));
+  kernel.run_until(sim::ms(300));
+  Outcome o;
+  o.stats = sched->stats();
+  o.harvested_j = harvester.total_energy_harvested();
+  o.level_changes = ctl ? ctl->level_changes() : 0;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  analysis::print_banner(
+      "Fig. 3 — holistic power-adaptive system: harvester -> MPPT -> store "
+      "-> modulated load");
+
+  static const char* kNames[3] = {"A fixed-rate (traditional)",
+                                  "B energy-token (static)",
+                                  "C energy-token + adaptive (Fig. 3)"};
+  analysis::Table table({"system", "completed", "in_time", "aborted",
+                         "useful_uJ", "wasted_uJ", "useful_per_harvested"});
+  double completed[3] = {0, 0, 0};
+  double aborted[3] = {0, 0, 0};
+  for (int which = 0; which < 3; ++which) {
+    // Average over three harvest seeds.
+    sched::SchedStats acc;
+    double harvested = 0.0;
+    for (std::uint64_t seed : {11u, 22u, 33u}) {
+      const Outcome o = run_system(which, seed);
+      acc.released += o.stats.released;
+      acc.completed += o.stats.completed;
+      acc.aborted_brownout += o.stats.aborted_brownout;
+      acc.deadline_misses += o.stats.deadline_misses;
+      acc.useful_energy_j += o.stats.useful_energy_j;
+      acc.wasted_energy_j += o.stats.wasted_energy_j;
+      harvested += o.harvested_j;
+    }
+    completed[which] = double(acc.completed);
+    aborted[which] = double(acc.aborted_brownout);
+    table.add_row(
+        {kNames[which], std::to_string(acc.completed),
+         std::to_string(acc.completed - acc.deadline_misses),
+         std::to_string(acc.aborted_brownout),
+         analysis::Table::num(acc.useful_energy_j * 1e6, 4),
+         analysis::Table::num(acc.wasted_energy_j * 1e6, 4),
+         analysis::Table::num(acc.useful_energy_j / harvested, 3)});
+  }
+  table.print();
+
+  std::printf(
+      "\nPaper claim (II.B): within the holistic approach, useful energy "
+      "consumption is\nmaximized for a given amount of energy produced. "
+      "The energy-blind scheduler (A)\nadmits everything and destroys %.0f "
+      "tasks mid-flight in store collapses; the\nenergy-token policies "
+      "complete a comparable total (%.0f vs %.0f) with zero\nbrown-out "
+      "waste, and the adaptive variant additionally bounds concurrency so "
+      "the\nnode never rides the store into its reserve during harvest "
+      "dead-spells.\n",
+      aborted[0], completed[2], completed[0]);
+  return 0;
+}

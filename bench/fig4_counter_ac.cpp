@@ -1,0 +1,98 @@
+// Fig. 4 — 2-bit dual-rail counter under AC supply 200 mV +/- 100 mV,
+// 1 MHz.
+//
+// Reproduces the waveform experiment: the counter's activity follows the
+// supply phase (fast near crests, stalled in troughs), the count is
+// always correct, and a VCD trace of the rails/done wires is written for
+// inspection. A bundled-data counter on the same supply is shown for
+// contrast: it keeps "running" but its captures are garbage at these
+// voltages.
+#include <cstdio>
+
+#include "analysis/table.hpp"
+#include "async/bundled.hpp"
+#include "async/checker.hpp"
+#include "async/counter.hpp"
+#include "device/delay_model.hpp"
+#include "gates/energy_meter.hpp"
+#include "sim/trace.hpp"
+#include "supply/ac_supply.hpp"
+
+int main() {
+  using namespace emc;
+  analysis::print_banner(
+      "Fig. 4 — dual-rail counter under AC supply 200mV +/- 100mV @ 1 MHz");
+
+  sim::Kernel kernel;
+  device::DelayModel model{device::Tech::umc90()};
+  supply::AcSupply ac(kernel, "ac", 0.2, 0.1, 1e6);
+  gates::EnergyMeter meter(kernel, device::Tech::umc90(), &ac);
+  gates::Context ctx{kernel, model, ac, &meter};
+
+  async::DualRailCounter ctr(ctx, "drc", 2);
+  async::DualRailChecker checker(ctr.rails().bits());
+
+  sim::VcdWriter vcd("fig4_counter_ac.vcd");
+  for (std::size_t i = 0; i < 2; ++i) {
+    vcd.add(*ctr.rails().bit(i).t);
+    vcd.add(*ctr.rails().bit(i).f);
+  }
+  vcd.add(ctr.done());
+
+  ctr.start();
+
+  // Per-AC-phase activity histogram: increments completed in each eighth
+  // of the supply period, accumulated over 50 cycles.
+  constexpr int kBins = 8;
+  std::uint64_t by_phase[kBins] = {0};
+  std::uint64_t last_count = 0;
+  const sim::Time period = ac.period();
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    for (int bin = 0; bin < kBins; ++bin) {
+      kernel.run_until((cycle * kBins + bin + 1) * (period / kBins));
+      by_phase[bin] += ctr.count() - last_count;
+      last_count = ctr.count();
+    }
+  }
+  vcd.finalize();
+
+  analysis::Table table({"phase_of_period", "vdd_at_center_V",
+                         "increments_per_cycle"});
+  static const char* kPhase[kBins] = {"0-45deg",    "45-90deg",  "90-135deg",
+                                      "135-180deg", "180-225deg", "225-270deg",
+                                      "270-315deg", "315-360deg"};
+  for (int bin = 0; bin < kBins; ++bin) {
+    const sim::Time center = (2 * bin + 1) * (period / (2 * kBins));
+    table.add_row({kPhase[bin],
+                   analysis::Table::num(ac.voltage_at(center), 3),
+                   analysis::Table::num(double(by_phase[bin]) / 50.0, 3)});
+  }
+  table.print();
+
+  std::printf("\nSpeed-independence verdict over 50 AC cycles:\n");
+  std::printf("  increments completed : %llu\n",
+              static_cast<unsigned long long>(ctr.count()));
+  std::printf("  code errors          : %llu (must be 0)\n",
+              static_cast<unsigned long long>(ctr.code_errors()));
+  std::printf("  rail violations      : %llu (must be 0)\n",
+              static_cast<unsigned long long>(checker.total_violations()));
+  std::printf("  VCD trace            : fig4_counter_ac.vcd\n");
+
+  // Contrast: bundled counter on the same supply.
+  sim::Kernel k2;
+  supply::AcSupply ac2(k2, "ac", 0.2, 0.1, 1e6);
+  gates::EnergyMeter m2(k2, device::Tech::umc90(), &ac2);
+  gates::Context ctx2{k2, model, ac2, &m2};
+  async::BundledParams bp;
+  async::BundledCounter bc(ctx2, "bc", bp);
+  bc.start();
+  k2.run_until(sim::us(50));
+  std::printf(
+      "\nBundled-data counter on the same supply: %llu captures, %llu "
+      "wrong (%.0f%%)\n  — matched delays cannot bundle across this Vdd "
+      "range (Fig. 5's lesson).\n",
+      static_cast<unsigned long long>(bc.count()),
+      static_cast<unsigned long long>(bc.errors()),
+      bc.count() ? 100.0 * double(bc.errors()) / double(bc.count()) : 0.0);
+  return 0;
+}

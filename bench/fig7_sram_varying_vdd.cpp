@@ -1,0 +1,106 @@
+// Figs. 6/7 — speed-independent SRAM operating under varying Vdd.
+//
+// Drives a write/read burst while the supply ramps 0.25 V -> 1.0 V (and a
+// second burst through an AC-like dip), printing per-op latency: the
+// first write at low Vdd takes microseconds, the same op at 1 V takes
+// nanoseconds, and every op completes correctly — the handshake trace is
+// dumped as VCD (Fig. 6's pch/wl/we/done wires).
+#include <cmath>
+#include <cstdio>
+#include <string_view>
+#include <vector>
+
+#include "analysis/table.hpp"
+#include "device/delay_model.hpp"
+#include "gates/energy_meter.hpp"
+#include "sim/trace.hpp"
+#include "sram/si_controller.hpp"
+#include "supply/battery.hpp"
+
+int main() {
+  using namespace emc;
+  analysis::print_banner(
+      "Fig. 7 — SI SRAM under varying Vdd (ramp 0.25 V -> 1.0 V)");
+
+  sim::Kernel kernel;
+  device::DelayModel model{device::Tech::umc90()};
+  supply::PiecewiseSupply ramp(kernel, "ramp",
+                               {{0, 0.25},
+                                {sim::us(40), 0.25},
+                                {sim::us(45), 1.0},
+                                {sim::us(80), 1.0},
+                                {sim::us(85), 0.4},
+                                {sim::us(120), 0.4}});
+  gates::EnergyMeter meter(kernel, device::Tech::umc90(), &ramp);
+  gates::Context ctx{kernel, model, ramp, &meter};
+  sram::SiSram sram(ctx, "sram", sram::SiSramParams{});
+
+  sim::VcdWriter vcd("fig7_sram_handshakes.vcd");
+  vcd.add(sram.w_req());
+  vcd.add(sram.w_ack());
+  vcd.add(sram.w_pch());
+  vcd.add(sram.w_wl());
+  vcd.add(sram.w_we());
+  vcd.add(sram.w_done());
+
+  struct Row {
+    const char* what;
+    double at_v;
+    double latency_s;
+    double energy_j;
+    bool ok;
+  };
+  std::vector<Row> rows;
+
+  auto do_write = [&](const char* tag, std::size_t addr, std::uint16_t val) {
+    const double v = ramp.voltage();
+    sram.write(addr, val, [&rows, tag, v](const sram::OpResult& r) {
+      rows.push_back({tag, v, r.latency_s, r.energy_j, r.ok});
+    });
+  };
+  auto do_read = [&](const char* tag, std::size_t addr) {
+    const double v = ramp.voltage();
+    sram.read(addr, [&rows, tag, v](std::uint16_t, const sram::OpResult& r) {
+      rows.push_back({tag, v, r.latency_s, r.energy_j, r.ok});
+    });
+  };
+
+  // Burst 1: at 0.25 V (paper: "the first writing works under low Vdd, it
+  // takes long time").
+  do_write("write@low", 1, 0x1111);
+  do_read("read@low", 1);
+  // Burst 2: at 1.0 V ("the second write, at high Vdd, works much faster").
+  kernel.schedule_at(sim::us(50), [&] {
+    do_write("write@high", 2, 0x2222);
+    do_read("read@high", 2);
+  });
+  // Burst 3: at the 0.4 V minimum-energy point.
+  kernel.schedule_at(sim::us(90), [&] {
+    do_write("write@0.4V", 3, 0x3333);
+    do_read("read@0.4V", 3);
+  });
+  kernel.run_until(sim::us(200));
+  vcd.finalize();
+
+  analysis::Table table(
+      {"op", "vdd_V", "latency_us", "energy_pJ", "completed_ok"});
+  for (const auto& r : rows) {
+    table.add_row({r.what, analysis::Table::num(r.at_v, 3),
+                   analysis::Table::num(r.latency_s * 1e6, 4),
+                   analysis::Table::num(r.energy_j * 1e12, 3),
+                   r.ok ? "yes" : "NO"});
+  }
+  table.print();
+
+  double lat_low = 0.0, lat_high = 0.0;
+  for (const auto& r : rows) {
+    if (std::string_view(r.what) == "write@low") lat_low = r.latency_s;
+    if (std::string_view(r.what) == "write@high") lat_high = r.latency_s;
+  }
+  std::printf(
+      "\nPaper shape: same op, same data path — %.0fx slower at 0.25 V "
+      "than at 1 V,\nboth correct (no timing assumption broke). Handshake "
+      "trace: fig7_sram_handshakes.vcd\n",
+      lat_high > 0 ? lat_low / lat_high : 0.0);
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Micro-benchmarks (google-benchmark): simulation-kernel event
+// throughput, delay-model evaluation cost, gate-level oscillator rate,
+// and SI SRAM operation cost — the numbers that bound experiment scale.
+#include <benchmark/benchmark.h>
+
+#include "async/counter.hpp"
+#include "device/delay_model.hpp"
+#include "gates/combinational.hpp"
+#include "gates/energy_meter.hpp"
+#include "sim/kernel.hpp"
+#include "sram/si_controller.hpp"
+#include "supply/battery.hpp"
+
+namespace {
+
+using namespace emc;
+
+void BM_KernelScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Kernel k;
+    for (int i = 0; i < 1000; ++i) {
+      k.schedule(static_cast<sim::Time>(i % 97), [] {});
+    }
+    k.run();
+    benchmark::DoNotOptimize(k.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_KernelScheduleRun);
+
+void BM_DelayModelEval(benchmark::State& state) {
+  device::DelayModel model{device::Tech::umc90()};
+  double v = 0.15;
+  double acc = 0.0;
+  for (auto _ : state) {
+    acc += model.delay_seconds(v, 2e-15);
+    v += 0.001;
+    if (v > 1.1) v = 0.15;
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_DelayModelEval);
+
+void BM_GateOscillator(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Kernel kernel;
+    device::DelayModel model{device::Tech::umc90()};
+    supply::Battery bat(kernel, "vdd", 1.0);
+    gates::EnergyMeter meter(kernel, device::Tech::umc90(), &bat);
+    gates::Context ctx{kernel, model, bat, &meter};
+    sim::Wire osc(kernel, "osc", false);
+    gates::CombGate inv(ctx, "inv", gates::Op::kInv, {&osc}, osc);
+    inv.touch();
+    kernel.run_until(sim::ns(100));
+    benchmark::DoNotOptimize(osc.transitions());
+  }
+}
+BENCHMARK(BM_GateOscillator);
+
+void BM_RippleCounterCycle(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Kernel kernel;
+    device::DelayModel model{device::Tech::umc90()};
+    supply::Battery bat(kernel, "vdd", 1.0);
+    gates::EnergyMeter meter(kernel, device::Tech::umc90(), &bat);
+    gates::Context ctx{kernel, model, bat, &meter};
+    async::ToggleRippleCounter ctr(ctx, "ctr", 8);
+    ctr.start();
+    kernel.run_until(sim::ns(200));
+    benchmark::DoNotOptimize(ctr.transitions_served());
+  }
+}
+BENCHMARK(BM_RippleCounterCycle);
+
+void BM_SiSramWrite(benchmark::State& state) {
+  sim::Kernel kernel;
+  device::DelayModel model{device::Tech::umc90()};
+  supply::Battery bat(kernel, "vdd", 1.0);
+  gates::EnergyMeter meter(kernel, device::Tech::umc90(), &bat);
+  gates::Context ctx{kernel, model, bat, &meter};
+  sram::SiSram sram(ctx, "sram", sram::SiSramParams{});
+  std::uint16_t v = 0;
+  for (auto _ : state) {
+    sram.write(v % 64, v, nullptr);
+    kernel.run();
+    ++v;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SiSramWrite);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// §III.A numbers — SI SRAM energy per operation vs Vdd.
+//
+// Anchors: 5.8 pJ per 16-bit write at 1.0 V, 1.9 pJ at 0.4 V, minimum
+// energy point reported at ~0.4 V. The model is calibrated to the two
+// energy values; the minimum's location is then a model output.
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/csv.hpp"
+#include "analysis/sweep.hpp"
+#include "analysis/table.hpp"
+#include "device/delay_model.hpp"
+#include "sram/bitline.hpp"
+#include "sram/cell.hpp"
+#include "sram/energy.hpp"
+
+int main() {
+  using namespace emc;
+  analysis::print_banner("Table — SI SRAM energy per operation vs Vdd");
+
+  device::DelayModel model{device::Tech::umc90()};
+  sram::CellModel cell(model, sram::CellParams{});
+  sram::BitlineDynamics bitline(cell, sram::BitlineParams{});
+  sram::SramEnergyModel energy(bitline, sram::SramPhaseTimings{},
+                               sram::SramEnergyAnchors{});
+
+  analysis::Table table({"vdd_V", "write_dyn_pJ", "write_leak_pJ",
+                         "write_total_pJ", "read_total_pJ", "t_write_us"});
+  analysis::CsvWriter csv({"vdd_V", "write_pJ", "read_pJ"});
+  for (double v : analysis::vdd_grid()) {
+    if (v < 0.18) continue;  // below the write floor
+    const double dyn = energy.dynamic_write_j(v);
+    const double tot = energy.energy_per_write(v);
+    table.add_row({analysis::Table::num(v),
+                   analysis::Table::num(dyn * 1e12, 4),
+                   analysis::Table::num((tot - dyn) * 1e12, 4),
+                   analysis::Table::num(tot * 1e12, 4),
+                   analysis::Table::num(energy.energy_per_read(v) * 1e12, 4),
+                   analysis::Table::num(energy.write_time_s(v) * 1e6, 4)});
+    csv.add_row({v, tot * 1e12, energy.energy_per_read(v) * 1e12});
+  }
+  table.print();
+  csv.write("tab_sram_energy.csv");
+
+  const double v_min = energy.min_energy_vdd();
+  analysis::print_anchor("energy per 16-bit write at 1.0 V", 5.8,
+                         energy.energy_per_write(1.0) * 1e12, "pJ");
+  analysis::print_anchor("energy per 16-bit write at 0.4 V", 1.9,
+                         energy.energy_per_write(0.4) * 1e12, "pJ");
+  analysis::print_anchor("minimum-energy Vdd", 0.4, v_min, "V");
+  std::printf(
+      "\nShape: U-curve — CV^2 dynamic term falls with Vdd until "
+      "exponentially growing\nleakage x latency takes over. Model minimum "
+      "at %.2f V, %.2f pJ (paper: 0.4 V);\nsee EXPERIMENTS.md for the "
+      "discussion of the %.0f mV offset.\n",
+      v_min, energy.energy_per_write(v_min) * 1e12,
+      std::fabs(v_min - 0.4) * 1000.0);
+  return 0;
+}

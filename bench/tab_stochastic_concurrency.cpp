@@ -1,0 +1,47 @@
+// [12] — stochastic analysis of power, latency and degree of concurrency.
+//
+// Birth-death CTMC with a power-capped service capacity: sweeps the
+// admitted degree of concurrency K and prints latency / power /
+// throughput, analytic vs simulated. The paper's point: concurrency buys
+// latency only until the power budget saturates.
+#include <cstdio>
+
+#include "analysis/table.hpp"
+#include "sched/stochastic.hpp"
+#include "sim/random.hpp"
+
+int main() {
+  using namespace emc;
+  analysis::print_banner(
+      "Table — power/latency/degree-of-concurrency (CTMC, analytic vs sim)");
+
+  sched::ConcurrencyModel m;
+  m.lambda_hz = 900.0;
+  m.mu_hz = 400.0;
+  m.power_budget_w = 450e-6;
+  m.power_per_task_w = 150e-6;  // budget admits 3 tasks at full speed
+
+  analysis::Table table({"K", "latency_ms(analytic)", "latency_ms(sim)",
+                         "power_uW(analytic)", "power_uW(sim)",
+                         "throughput_hz", "budget_util"});
+  sim::Rng rng(41);
+  for (std::size_t k = 1; k <= 8; ++k) {
+    m.max_concurrency = k;
+    const auto a = sched::solve_analytic(m);
+    const auto s = sched::simulate(m, rng, 30.0);
+    table.add_row({std::to_string(k),
+                   analysis::Table::num(a.mean_latency_s * 1e3, 4),
+                   analysis::Table::num(s.mean_latency_s * 1e3, 4),
+                   analysis::Table::num(a.mean_power_w * 1e6, 4),
+                   analysis::Table::num(s.mean_power_w * 1e6, 4),
+                   analysis::Table::num(a.throughput_hz, 4),
+                   analysis::Table::num(a.utilization, 3)});
+  }
+  table.print();
+  std::printf(
+      "\nShape ([12]): latency improves with K while the power budget "
+      "allows (K <= 3 here),\nthen flattens — extra concurrency cannot be "
+      "powered. The analytic chain and the\nevent simulation agree within "
+      "sampling noise.\n");
+  return 0;
+}

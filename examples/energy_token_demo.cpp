@@ -1,0 +1,64 @@
+// Energy-token Petri net demo ([15]): a task graph whose *behaviour* is
+// modulated by the energy flowing in.
+//
+//   $ ./energy_token_demo
+//
+// A sense->process->transmit pipeline where transmission costs 5x the
+// energy of sensing. Watch the net under three energy diets: it
+// degrades gracefully (keeps sensing, defers transmitting) rather than
+// failing — scheduling policy expressed as net structure.
+#include <cstdio>
+
+#include "sched/petri.hpp"
+#include "sim/random.hpp"
+
+using namespace emc;
+
+int main() {
+  std::printf("== energy-token Petri net: sense -> process -> transmit ==\n\n");
+
+  for (double tokens_per_ms : {8.0, 30.0, 120.0}) {
+    sim::Kernel kernel;
+    sim::Rng rng(3);
+    sched::EnergyPetriNet net(kernel);
+
+    const auto ready = net.add_place("sensor_ready", 1);
+    const auto raw = net.add_place("raw_samples", 0);
+    const auto cooked = net.add_place("processed", 0);
+    const auto sent = net.add_place("transmitted", 0);
+
+    // sense: cheap (1 token), recycles the sensor-ready marker.
+    net.add_transition("sense", {ready}, {ready, raw}, 1, sim::us(100));
+    // process: medium (2 tokens).
+    net.add_transition("process", {raw}, {cooked}, 2, sim::us(200));
+    // transmit: expensive (5 tokens), batches two processed samples.
+    net.add_transition("transmit", {cooked, cooked}, {sent}, 5, sim::us(400));
+
+    const auto quanta = static_cast<std::uint64_t>(tokens_per_ms);
+    std::function<void()> feed = [&] {
+      net.add_energy(quanta);
+      kernel.schedule(sim::ms(1), feed);
+    };
+    kernel.schedule(0, feed);
+
+    net.run(sim::ms(50), rng);
+
+    std::printf("energy diet %5.0f tokens/ms over 50 ms:\n", tokens_per_ms);
+    std::printf("  sensed %4llu   processed %4llu   transmitted %4llu   "
+                "(energy spent %llu, left %llu)\n\n",
+                (unsigned long long)(net.marking(raw) + net.marking(cooked) * 1 +
+                                     net.marking(sent) * 2 +
+                                     net.marking(cooked)),
+                (unsigned long long)(net.marking(cooked) +
+                                     2 * net.marking(sent)),
+                (unsigned long long)net.marking(sent),
+                (unsigned long long)net.energy_spent(),
+                (unsigned long long)net.marking(net.energy_place()));
+  }
+
+  std::printf(
+      "Starved, the net still senses (cheap transitions stay enabled) and "
+      "queues work for\nricher times — energy-modulated behaviour without "
+      "any explicit mode logic.\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+#include "analysis/csv.hpp"
+
+#include <fstream>
+
+namespace emc::analysis {
+
+void CsvWriter::add_row(const std::vector<double>& values) {
+  rows_.push_back(values);
+}
+
+bool CsvWriter::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) out << ',';
+    out << headers_[c];
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ',';
+      out << row[c];
+    }
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace emc::analysis

@@ -1,0 +1,26 @@
+// Minimal CSV writer for experiment artifacts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace emc::analysis {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(const std::vector<double>& values);
+
+  /// Write to `path`; returns false on I/O error.
+  bool write(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace emc::analysis

@@ -1,0 +1,44 @@
+// Summary statistics for experiment reporting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace emc::analysis {
+
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? sum_ / double(n_) : 0.0; }
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample set (linear interpolation, p in [0,100]).
+double percentile(std::vector<double> samples, double p);
+
+/// Pearson correlation between two equal-length series.
+double correlation(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Least-squares slope/intercept of y on x.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+LinearFit fit_linear(const std::vector<double>& x,
+                     const std::vector<double>& y);
+
+}  // namespace emc::analysis

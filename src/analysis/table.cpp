@@ -1,0 +1,79 @@
+#include "analysis/table.hpp"
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+namespace emc::analysis {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+  return buf;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << "| " << cells[c];
+      os << std::string(width[c] - cells[c].size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+  emit(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(width[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void Table::print() const { std::cout << to_string() << std::flush; }
+
+void print_banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+void print_anchor(const std::string& what, double paper, double measured,
+                  const std::string& unit) {
+  const double rel =
+      paper != 0.0 ? 100.0 * (measured - paper) / paper : 0.0;
+  std::printf("  anchor  %-52s paper %10.4g %-4s measured %10.4g %-4s (%+.1f%%)\n",
+              what.c_str(), paper, unit.c_str(), measured, unit.c_str(), rel);
+}
+
+}  // namespace emc::analysis

@@ -1,0 +1,41 @@
+// Aligned console tables for the figure/table benches.
+//
+// Every bench prints the paper's rows plus a "paper vs measured" footer;
+// this helper keeps the output disciplined and diff-friendly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace emc::analysis {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Numeric convenience: formats with %g-style precision.
+  static std::string num(double v, int precision = 4);
+
+  /// Render with column alignment.
+  std::string to_string() const;
+
+  /// Render as CSV (for plotting scripts).
+  std::string to_csv() const;
+
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Section banner for bench output.
+void print_banner(const std::string& title);
+
+/// One "paper says X, we measured Y" comparison line.
+void print_anchor(const std::string& what, double paper, double measured,
+                  const std::string& unit);
+
+}  // namespace emc::analysis

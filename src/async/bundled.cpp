@@ -1,0 +1,116 @@
+#include "async/bundled.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace emc::async {
+
+namespace {
+// Depth (in gate stages) and switched-capacitance factor of the increment
+// function of bit i — matched with DualRailCounter so the Fig. 2
+// comparison is apples-to-apples.
+double depth_of_bit(std::size_t i) { return 2.0 + static_cast<double>(i); }
+constexpr double kDatapathCap = 2.0;
+}  // namespace
+
+BundledCounter::BundledCounter(gates::Context& ctx, std::string name,
+                               BundledParams params)
+    : circuit_(ctx, std::move(name)), params_(params) {
+  assert(params_.bits >= 1 && params_.bits <= 16);
+
+  go_ = &circuit_.wire("go", false);
+  for (std::size_t i = 0; i < params_.bits; ++i) {
+    state_wires_.push_back(&circuit_.wire("s" + std::to_string(i), false));
+  }
+
+  // Single-rail increment datapath: d_i = inc_i(state), built on slower
+  // (stacked, higher-Vth) cells than the delay line's inverters.
+  std::vector<gates::FunctionGate*> dp;
+  for (std::size_t i = 0; i < params_.bits; ++i) {
+    sim::Wire& d = circuit_.wire("d" + std::to_string(i), false);
+    auto inc_bit = [i](const std::vector<bool>& v) {
+      std::uint64_t s = 0;
+      for (std::size_t b = 0; b < v.size(); ++b) {
+        if (v[b]) s |= (std::uint64_t{1} << b);
+      }
+      return (((s + 1) >> i) & 1u) != 0;
+    };
+    auto& g = circuit_.emplace<gates::FunctionGate>(
+        ctx, circuit_.name() + ".d" + std::to_string(i), inc_bit,
+        std::vector<sim::Wire*>(state_wires_.begin(), state_wires_.end()), d,
+        depth_of_bit(i), kDatapathCap, params_.datapath_vth_offset);
+    dp.push_back(&g);
+    data_wires_.push_back(&d);
+  }
+
+  // Size the matched delay: margin * worst datapath delay at the
+  // calibration voltage, expressed in inverter stages at that voltage.
+  const double worst_dp_s =
+      ctx.model.delay_seconds(params_.calibration_vdd,
+                              kDatapathCap * ctx.model.tech().c_inv *
+                                  depth_of_bit(params_.bits - 1),
+                              params_.datapath_vth_offset);
+  const double inv_s =
+      ctx.model.inverter_delay_seconds(params_.calibration_vdd);
+  const auto stages = static_cast<std::size_t>(
+      std::ceil(params_.margin * worst_dp_s / inv_s));
+  line_ = std::make_unique<gates::DelayLine>(
+      ctx, circuit_.name() + ".line", *go_, std::max<std::size_t>(stages, 2));
+
+  if (ctx.meter != nullptr) {
+    latch_meter_ = ctx.meter->add(circuit_.name() + ".latch",
+                                  6.0 * static_cast<double>(params_.bits));
+    metered_ = true;
+  }
+
+  line_->output().on_change([this](const sim::Wire&) { on_line_output(); });
+
+  // Settle the datapath outputs to inc(0) before the first launch.
+  for (auto* g : dp) g->touch();
+}
+
+void BundledCounter::start() {
+  if (running_) return;
+  running_ = true;
+  launch();
+}
+
+void BundledCounter::launch() {
+  line_phase_ = !go_->read();
+  go_->set(line_phase_);
+}
+
+void BundledCounter::on_line_output() {
+  // The wavefront of the current launch arrives as a transition towards
+  // the launched polarity (the chain has even/odd parity; just track
+  // edges — every output change corresponds to one completed launch).
+  if (!running_ && count_ > 0) return;
+
+  // Capture: read the datapath outputs into the state latch, settled or
+  // not — that is the bundled-data gamble.
+  std::uint64_t captured = 0;
+  for (std::size_t i = 0; i < params_.bits; ++i) {
+    if (data_wires_[i]->read()) captured |= (std::uint64_t{1} << i);
+  }
+  const std::uint64_t mask = (std::uint64_t{1} << params_.bits) - 1u;
+  const std::uint64_t expect = (state_ + 1) & mask;
+  if (captured != expect) ++errors_;
+  ++count_;
+  state_ = captured;
+  auto& ctx = circuit_.ctx();
+  for (std::size_t i = 0; i < params_.bits; ++i) {
+    state_wires_[i]->set(((state_ >> i) & 1u) != 0);
+  }
+  const double vdd = ctx.supply.voltage();
+  const double cload =
+      3.0 * ctx.model.tech().c_inv * static_cast<double>(params_.bits);
+  ctx.supply.draw(ctx.model.switching_charge(vdd, cload),
+                  ctx.model.switching_energy(vdd, cload));
+  if (metered_) {
+    ctx.meter->record_transition(latch_meter_,
+                                 ctx.model.switching_energy(vdd, cload));
+  }
+  if (running_) launch();
+}
+
+}  // namespace emc::async

@@ -1,0 +1,70 @@
+#include "async/checker.hpp"
+
+namespace emc::async {
+
+HandshakeChecker::HandshakeChecker(sim::Wire& req, sim::Wire& ack)
+    : req_(&req), ack_(&ack) {
+  req_->on_change([this](const sim::Wire&) { on_req(); });
+  ack_->on_change([this](const sim::Wire&) { on_ack(); });
+}
+
+void HandshakeChecker::on_req() {
+  if (req_->read()) {
+    // req+ is only legal from idle.
+    if (phase_ != 0) ++violations_;
+    phase_ = 1;
+  } else {
+    // req- is only legal after ack+.
+    if (phase_ != 2) ++violations_;
+    phase_ = 3;
+  }
+}
+
+void HandshakeChecker::on_ack() {
+  if (ack_->read()) {
+    // ack+ is only legal after req+.
+    if (phase_ != 1) ++violations_;
+    phase_ = 2;
+  } else {
+    // ack- is only legal after req-.
+    if (phase_ != 3) ++violations_;
+    phase_ = 0;
+    ++cycles_;
+  }
+}
+
+DualRailChecker::DualRailChecker(
+    const std::vector<gates::DualRailWire>& bits) {
+  bits_.reserve(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    bits_.push_back(BitMonitor{bits[i].t, bits[i].f,
+                               rail_state(bits[i].t->read(),
+                                          bits[i].f->read())});
+    bits_[i].t->on_change([this, i](const sim::Wire&) { on_bit_change(i); });
+    bits_[i].f->on_change([this, i](const sim::Wire&) { on_bit_change(i); });
+  }
+}
+
+void DualRailChecker::on_bit_change(std::size_t i) {
+  BitMonitor& m = bits_[i];
+  const RailState now = rail_state(m.t->read(), m.f->read());
+  if (now == m.last) return;
+  switch (now) {
+    case RailState::kIllegal:
+      ++illegal_;
+      break;
+    case RailState::kNull:
+      // Any valid state may fall back to NULL; NULL -> NULL impossible.
+      break;
+    case RailState::kValid0:
+    case RailState::kValid1:
+      // Valid must be entered from NULL (valid->other-valid means a rail
+      // flipped without a spacer).
+      if (m.last != RailState::kNull) ++alternation_;
+      ++valid_words_;
+      break;
+  }
+  m.last = now;
+}
+
+}  // namespace emc::async

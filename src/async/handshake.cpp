@@ -1,0 +1,73 @@
+#include "async/handshake.hpp"
+
+#include "sim/time.hpp"
+
+namespace emc::async {
+
+HandshakeSource::HandshakeSource(gates::Context& ctx, std::string name,
+                                 Channel ch)
+    : ctx_(&ctx), name_(std::move(name)), ch_(ch) {
+  ch_.ack->on_change([this](const sim::Wire&) { on_ack(); });
+}
+
+void HandshakeSource::start(std::uint64_t cycles,
+                            std::function<void()> on_done) {
+  remaining_ = cycles;
+  on_done_ = std::move(on_done);
+  if (remaining_ > 0) raise_req();
+}
+
+void HandshakeSource::raise_req() {
+  cycle_start_ = ctx_->kernel.now();
+  ch_.req->set(true);
+}
+
+void HandshakeSource::on_ack() {
+  if (ch_.ack->read()) {
+    // Ack received: release the request.
+    ch_.req->set(false);
+    return;
+  }
+  // Ack released: cycle complete.
+  last_cycle_s_ = sim::to_seconds(ctx_->kernel.now() - cycle_start_);
+  ++completed_;
+  if (remaining_ > 0) --remaining_;
+  if (remaining_ > 0) {
+    raise_req();
+  } else if (on_done_) {
+    auto done = std::move(on_done_);
+    on_done_ = nullptr;
+    done();
+  }
+}
+
+HandshakeSink::HandshakeSink(gates::Context& ctx, std::string name,
+                             Channel ch, double delay_stages)
+    : ctx_(&ctx), ch_(ch), delay_stages_(delay_stages) {
+  (void)name;
+  ch_.req->on_change([this](const sim::Wire&) { on_req(); });
+}
+
+void HandshakeSink::on_req() {
+  const bool target = ch_.req->read();
+  const double vdd = ctx_->supply.voltage();
+  if (!ctx_->model.operational(vdd)) {
+    // The sink's logic is stalled; the supply's recovery will not replay
+    // this edge, so poll like a gate would.
+    const sim::Time hint = ctx_->supply.retry_hint();
+    if (hint != sim::kTimeMax) {
+      ctx_->kernel.schedule(hint, [this] { on_req(); });
+    }
+    return;
+  }
+  const sim::Time d = ctx_->model.delay(
+      vdd, delay_stages_ * ctx_->model.tech().c_inv);
+  ctx_->kernel.schedule(d, [this, target] {
+    if (ch_.ack->read() != target) {
+      if (target) ++acks_;
+      ch_.ack->set(target);
+    }
+  });
+}
+
+}  // namespace emc::async

@@ -1,0 +1,72 @@
+// Four-phase handshake plumbing.
+//
+// The SI SRAM controller and the counters coordinate through req/ack
+// pairs ("building on the genuine completion indication, the control uses
+// handshake protocols", Fig. 6). This header provides the channel bundle
+// plus an active-side driver and a passive-side responder used by tests
+// and benches to source/sink handshakes with real gate delays.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "gates/gate.hpp"
+#include "sim/signal.hpp"
+
+namespace emc::async {
+
+/// A req/ack wire pair (owned elsewhere, usually by a Circuit).
+struct Channel {
+  sim::Wire* req;
+  sim::Wire* ack;
+};
+
+/// Active side of a 4-phase handshake: raises req, waits for ack, lowers
+/// req, waits for ack release — `cycles` times, recording per-cycle
+/// latency. All actions are event-driven (no timeouts), so the source is
+/// itself speed-independent.
+class HandshakeSource {
+ public:
+  HandshakeSource(gates::Context& ctx, std::string name, Channel ch);
+
+  /// Begin `cycles` handshakes; `on_done` fires after the last release.
+  void start(std::uint64_t cycles, std::function<void()> on_done = nullptr);
+
+  std::uint64_t completed() const { return completed_; }
+  /// Latency of the most recent full cycle [s].
+  double last_cycle_seconds() const { return last_cycle_s_; }
+
+ private:
+  void on_ack();
+  void raise_req();
+
+  gates::Context* ctx_;
+  std::string name_;
+  Channel ch_;
+  std::uint64_t remaining_ = 0;
+  std::uint64_t completed_ = 0;
+  sim::Time cycle_start_ = 0;
+  double last_cycle_s_ = 0.0;
+  std::function<void()> on_done_;
+};
+
+/// Passive side: mirrors req onto ack through a configurable number of
+/// gate delays (a stand-in for the downstream logic's latency).
+class HandshakeSink {
+ public:
+  HandshakeSink(gates::Context& ctx, std::string name, Channel ch,
+                double delay_stages = 2.0);
+
+  std::uint64_t acks() const { return acks_; }
+
+ private:
+  void on_req();
+
+  gates::Context* ctx_;
+  Channel ch_;
+  double delay_stages_;
+  std::uint64_t acks_ = 0;
+};
+
+}  // namespace emc::async

@@ -1,0 +1,41 @@
+#include "device/delay_model.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace emc::device {
+
+double DelayModel::drive_current(double vdd, double vth_offset,
+                                 double strength) const {
+  const double vth = tech_.vth_logic + vth_offset + tech_.corner_vth_shift;
+  const double two_n_vt = 2.0 * tech_.subthreshold_n * tech_.thermal_vt;
+  const double x = (vdd - vth) / two_n_vt;
+  // ln(1+exp(x)) evaluated without overflow for large x.
+  const double soft = x > 30.0 ? x : std::log1p(std::exp(x));
+  return tech_.specific_current * tech_.corner_drive * strength * soft * soft;
+}
+
+double DelayModel::delay_seconds(double vdd, double cload, double vth_offset,
+                                 double strength) const {
+  if (!operational(vdd)) return std::numeric_limits<double>::infinity();
+  const double i = drive_current(vdd, vth_offset, strength);
+  return cload * vdd / i;
+}
+
+sim::Time DelayModel::delay(double vdd, double cload, double vth_offset,
+                            double strength) const {
+  const double s = delay_seconds(vdd, cload, vth_offset, strength);
+  if (!std::isfinite(s)) return sim::kTimeMax;
+  return sim::from_seconds(s);
+}
+
+double DelayModel::bitline_delay_seconds(double vdd) const {
+  if (!operational(vdd)) return std::numeric_limits<double>::infinity();
+  // The cell pulls the bit-line down by `bitline_swing * vdd` through the
+  // access/driver stack, whose effective threshold sits vth_cell_extra
+  // above the logic threshold.
+  const double i_cell = drive_current(vdd, tech_.vth_cell_extra);
+  return tech_.c_bitline * tech_.bitline_swing * vdd / i_cell;
+}
+
+}  // namespace emc::device

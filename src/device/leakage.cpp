@@ -1,0 +1,15 @@
+#include "device/leakage.hpp"
+
+#include <cmath>
+
+namespace emc::device {
+
+double LeakageModel::current(double vdd, double width) const {
+  if (vdd <= 0.0) return 0.0;
+  const double n_vt = tech_.subthreshold_n * tech_.thermal_vt;
+  const double dibl_scale =
+      std::exp(tech_.dibl * (vdd - tech_.vdd_nominal) / n_vt);
+  return width * tech_.i_leak_unit * dibl_scale;
+}
+
+}  // namespace emc::device

@@ -1,0 +1,21 @@
+#include "device/tech.hpp"
+
+namespace emc::device {
+
+Tech Tech::umc90() { return Tech{}; }
+
+Tech Tech::umc90_slow() {
+  Tech t;
+  t.corner_vth_shift = +0.04;  // slow corner: higher Vth, weaker drive
+  t.corner_drive = 0.85;
+  return t;
+}
+
+Tech Tech::umc90_fast() {
+  Tech t;
+  t.corner_vth_shift = -0.04;  // fast corner: lower Vth, stronger drive
+  t.corner_drive = 1.15;
+  return t;
+}
+
+}  // namespace emc::device

@@ -1,0 +1,78 @@
+// Technology parameters for the simulated 90 nm-class CMOS process.
+//
+// The paper's circuits were designed in UMC 90 nm and simulated in
+// Cadence; this struct is the substitution for that PDK. Only the
+// quantities the paper's results depend on are modelled:
+//   * drive current vs gate voltage across strong inversion and
+//     sub-threshold (sets every delay-vs-Vdd curve),
+//   * switched capacitance (sets dynamic energy Ceff*V^2 per edge),
+//   * sub-threshold leakage with DIBL (sets the minimum-energy point),
+//   * the minimum voltage at which gates still switch (sets where
+//     self-timed logic stalls and resumes under AC supply).
+#pragma once
+
+namespace emc::device {
+
+struct Tech {
+  // --- MOSFET / EKV model --------------------------------------------
+  /// Logic transistor threshold voltage [V].
+  double vth_logic = 0.35;
+  /// Effective threshold of the SRAM cell read stack (access + driver
+  /// transistor in series degrade the gate drive); the elevated value is
+  /// what makes SRAM slow down faster than logic at low Vdd (Fig. 5).
+  double vth_cell_extra = 0.055;
+  /// Sub-threshold slope factor n (dimensionless, typically 1.3-1.6).
+  double subthreshold_n = 1.5;
+  /// Thermal voltage kT/q at 300 K [V].
+  double thermal_vt = 0.026;
+  /// EKV specific current scale [A]; calibrated so a reference inverter
+  /// delays 40 ps at Vdd = 1 V.
+  double specific_current = 7.2e-7;
+
+  // --- Capacitances ---------------------------------------------------
+  /// Switched capacitance of a minimum inverter (gate+wire+drain) [F].
+  double c_inv = 2e-15;
+  /// Bit-line capacitance of a 64-cell SRAM column [F]; calibrated so the
+  /// SRAM-read / inverter-delay ratio is ~50 at 1 V (Fig. 5).
+  double c_bitline = 167.6e-15;
+  /// Fraction of Vdd the bit-line must swing before the completion
+  /// detector fires (full-swing sensing, no analogue sense amplifier).
+  double bitline_swing = 0.5;
+
+  // --- Leakage ---------------------------------------------------------
+  /// Leakage current of a minimum-width device at Vdd = 1 V [A].
+  double i_leak_unit = 2.0e-9;
+  /// DIBL-driven supply sensitivity of leakage [V of Vth shift per V of
+  /// Vdd]; leakage scales as exp(dibl*(V-1)/(n*VT)).
+  double dibl = 0.15;
+
+  // --- Operating limits -------------------------------------------------
+  /// Below this supply voltage gates no longer switch (drive current is
+  /// lost in noise); self-timed logic stalls and waits (paper: activity
+  /// freezes in the troughs of the 200 mV +/- 100 mV AC supply).
+  double vmin_operate = 0.14;
+  /// Hysteresis applied when resuming from a stall, so circuits do not
+  /// chatter at the threshold.
+  double vmin_hysteresis = 0.01;
+  /// Upper bound of the validated model range [V].
+  double vmax = 1.2;
+
+  /// Nominal supply of the process [V].
+  double vdd_nominal = 1.0;
+
+  /// The process corner knobs used by the SRAM failure analysis.
+  /// A Vth shift applied to all logic devices [V].
+  double corner_vth_shift = 0.0;
+  /// Multiplicative drive-strength factor (process speed corner).
+  double corner_drive = 1.0;
+
+  /// Default 90 nm-class parameter set, calibrated against the paper's
+  /// anchor numbers (see DESIGN.md section 6).
+  static Tech umc90();
+
+  /// Slow / fast process corners for the failure analysis of [8].
+  static Tech umc90_slow();
+  static Tech umc90_fast();
+};
+
+}  // namespace emc::device

@@ -1,0 +1,57 @@
+#include "gates/celement.hpp"
+
+#include <cassert>
+
+namespace emc::gates {
+
+namespace {
+// A C-element is roughly two inverting stages with feedback; charge both
+// the delay and the capacitance accordingly.
+constexpr double kDelayStages = 2.0;
+double cap_for(std::size_t fanin) { return 2.0 + 0.6 * double(fanin); }
+double leak_for(std::size_t fanin) { return 4.0 + 2.0 * double(fanin); }
+}  // namespace
+
+CElement::CElement(Context& ctx, std::string name,
+                   std::vector<sim::Wire*> inputs, sim::Wire& out,
+                   double vth_offset)
+    : Gate(ctx, std::move(name), out, kDelayStages, cap_for(inputs.size()),
+           vth_offset, leak_for(inputs.size())),
+      both_(std::move(inputs)) {
+  assert(!both_.empty());
+  for (auto* w : both_) listen(*w);
+}
+
+CElement::CElement(Context& ctx, std::string name,
+                   std::vector<sim::Wire*> both, std::vector<sim::Wire*> plus,
+                   std::vector<sim::Wire*> minus, sim::Wire& out,
+                   double vth_offset)
+    : Gate(ctx, std::move(name), out, kDelayStages,
+           cap_for(both.size() + plus.size() + minus.size()), vth_offset,
+           leak_for(both.size() + plus.size() + minus.size())),
+      both_(std::move(both)),
+      plus_(std::move(plus)),
+      minus_(std::move(minus)) {
+  assert(!(both_.empty() && plus_.empty() && minus_.empty()));
+  for (auto* w : both_) listen(*w);
+  for (auto* w : plus_) listen(*w);
+  for (auto* w : minus_) listen(*w);
+}
+
+bool CElement::evaluate(bool current) const {
+  auto all = [](const std::vector<sim::Wire*>& ws, bool v) {
+    for (auto* w : ws)
+      if (w->read() != v) return false;
+    return true;
+  };
+  if (!current) {
+    // Rising condition: all "both" and all "plus" inputs high.
+    if (all(both_, true) && all(plus_, true)) return true;
+    return false;
+  }
+  // Falling condition: all "both" and all "minus" inputs low.
+  if (all(both_, false) && all(minus_, false)) return false;
+  return true;
+}
+
+}  // namespace emc::gates

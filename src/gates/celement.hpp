@@ -1,0 +1,37 @@
+// Muller C-element — the fundamental state-holding gate of
+// speed-independent logic [3].
+//
+// Output rises when *all* inputs are 1, falls when *all* are 0, and holds
+// otherwise. Completion detection, handshake joins and the SI SRAM
+// controller are built from these. The asymmetric variant has "plus"
+// inputs that only participate in the rising condition and "minus" inputs
+// that only participate in the falling one (standard Petrify notation).
+#pragma once
+
+#include <vector>
+
+#include "gates/gate.hpp"
+
+namespace emc::gates {
+
+class CElement final : public Gate {
+ public:
+  CElement(Context& ctx, std::string name, std::vector<sim::Wire*> inputs,
+           sim::Wire& out, double vth_offset = 0.0);
+
+  /// Asymmetric form: `both` inputs gate both edges, `plus` only the
+  /// rising edge, `minus` only the falling edge.
+  CElement(Context& ctx, std::string name, std::vector<sim::Wire*> both,
+           std::vector<sim::Wire*> plus, std::vector<sim::Wire*> minus,
+           sim::Wire& out, double vth_offset = 0.0);
+
+ protected:
+  bool evaluate(bool current) const override;
+
+ private:
+  std::vector<sim::Wire*> both_;
+  std::vector<sim::Wire*> plus_;
+  std::vector<sim::Wire*> minus_;
+};
+
+}  // namespace emc::gates

@@ -1,0 +1,56 @@
+#include "gates/completion.hpp"
+
+#include <cassert>
+
+namespace emc::gates {
+
+CompletionDetector::CompletionDetector(Context& ctx, std::string name,
+                                       std::vector<DualRailWire> bits,
+                                       std::size_t max_fanin) {
+  assert(!bits.empty());
+  assert(max_fanin >= 2);
+
+  // Per-bit validity: valid_i = t_i OR f_i.
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    wires_.push_back(std::make_unique<sim::Wire>(
+        ctx.kernel, name + ".v" + std::to_string(i), false));
+    sim::Wire& v = *wires_.back();
+    gates_.push_back(std::make_unique<CombGate>(
+        ctx, name + ".or" + std::to_string(i), Op::kOr,
+        std::vector<sim::Wire*>{bits[i].t, bits[i].f}, v));
+    valids_.push_back(&v);
+  }
+
+  // C-element reduction tree. Each C output rises when its whole subtree
+  // is valid and falls when it is null, so the tree as a whole preserves
+  // the detector contract.
+  std::vector<sim::Wire*> layer = valids_;
+  std::size_t level = 0;
+  while (layer.size() > 1) {
+    std::vector<sim::Wire*> next;
+    for (std::size_t i = 0; i < layer.size(); i += max_fanin) {
+      const std::size_t n = std::min(max_fanin, layer.size() - i);
+      if (n == 1) {
+        next.push_back(layer[i]);
+        continue;
+      }
+      std::vector<sim::Wire*> group(layer.begin() + i, layer.begin() + i + n);
+      wires_.push_back(std::make_unique<sim::Wire>(
+          ctx.kernel,
+          name + ".c" + std::to_string(level) + "_" + std::to_string(i),
+          false));
+      sim::Wire& out = *wires_.back();
+      gates_.push_back(std::make_unique<CElement>(
+          ctx,
+          name + ".ce" + std::to_string(level) + "_" + std::to_string(i),
+          std::move(group), out));
+      next.push_back(&out);
+    }
+    layer = std::move(next);
+    ++level;
+  }
+  done_ = layer.front();
+  depth_ = level;
+}
+
+}  // namespace emc::gates

@@ -1,0 +1,70 @@
+#include "gates/energy_meter.hpp"
+
+namespace emc::gates {
+
+EnergyMeter::EnergyMeter(sim::Kernel& kernel, const device::Tech& tech,
+                         supply::Supply* supply)
+    : kernel_(&kernel), leakage_(tech), supply_(supply) {}
+
+EnergyMeter::GateId EnergyMeter::add(std::string name, double leak_width) {
+  gates_.push_back(Entry{std::move(name), leak_width});
+  total_leak_width_ += leak_width;
+  return gates_.size() - 1;
+}
+
+void EnergyMeter::record_transition(GateId id, double joules) {
+  integrate_leakage();
+  Entry& e = gates_[id];
+  ++e.transitions;
+  e.dynamic_j += joules;
+  ++total_transitions_;
+  dynamic_j_ += joules;
+}
+
+void EnergyMeter::integrate_leakage() {
+  const sim::Time now = kernel_->now();
+  if (now <= last_leak_integration_) return;
+  if (supply_ != nullptr && total_leak_width_ > 0.0) {
+    const double dt = sim::to_seconds(now - last_leak_integration_);
+    leakage_j_ += leakage_.energy(supply_->voltage(), total_leak_width_, dt);
+  }
+  last_leak_integration_ = now;
+}
+
+std::string EnergyMeter::prefix_of(const std::string& name,
+                                   std::size_t depth) {
+  std::size_t pos = 0;
+  for (std::size_t d = 0; d < depth; ++d) {
+    const std::size_t dot = name.find('.', pos);
+    if (dot == std::string::npos) return name;
+    pos = dot + 1;
+  }
+  return name.substr(0, pos == 0 ? name.size() : pos - 1);
+}
+
+std::map<std::string, double> EnergyMeter::energy_by_prefix(
+    std::size_t depth) const {
+  std::map<std::string, double> out;
+  for (const auto& e : gates_) out[prefix_of(e.name, depth)] += e.dynamic_j;
+  return out;
+}
+
+std::map<std::string, std::uint64_t> EnergyMeter::transitions_by_prefix(
+    std::size_t depth) const {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& e : gates_) out[prefix_of(e.name, depth)] += e.transitions;
+  return out;
+}
+
+void EnergyMeter::reset() {
+  for (auto& e : gates_) {
+    e.transitions = 0;
+    e.dynamic_j = 0.0;
+  }
+  total_transitions_ = 0;
+  dynamic_j_ = 0.0;
+  leakage_j_ = 0.0;
+  last_leak_integration_ = kernel_->now();
+}
+
+}  // namespace emc::gates

@@ -1,0 +1,118 @@
+#include "gates/gate.hpp"
+
+namespace emc::gates {
+
+Gate::Gate(Context& ctx, std::string name, sim::Wire& out, double delay_stages,
+           double cap_factor, double vth_offset, double leak_width)
+    : ctx_(&ctx),
+      name_(std::move(name)),
+      out_(&out),
+      delay_stages_(delay_stages),
+      cap_factor_(cap_factor),
+      vth_offset_(vth_offset) {
+  if (ctx_->meter != nullptr) {
+    meter_id_ = ctx_->meter->add(name_, leak_width);
+    metered_ = true;
+  }
+  // Wake with the supply: a recharged storage cap re-animates every
+  // parked gate. Registration happens once, here, for the gate's
+  // lifetime; the callback is a no-op unless the gate is stalled.
+  ctx_->supply.on_wake([this] {
+    if (stalled_) retry();
+  });
+}
+
+void Gate::listen(sim::Wire& w) {
+  w.on_change([this](const sim::Wire&) { on_input_change(); });
+}
+
+void Gate::on_input_change() {
+  const bool target = evaluate(out_->read());
+  if (stalled_) {
+    // Park with the freshest target; the retry path re-evaluates anyway.
+    stall_target_ = target;
+    return;
+  }
+  if (pending_) {
+    if (target == pending_value_) return;  // already on the way
+    // Retract: the cause vanished before the output could move.
+    pending_ = false;
+    ++generation_;
+    if (target == out_->read()) return;  // pulse swallowed
+  } else if (target == out_->read()) {
+    return;  // stable
+  }
+  schedule_output(target);
+}
+
+void Gate::schedule_output(bool target) {
+  const double vdd = ctx_->supply.voltage();
+  if (!ctx_->model.operational(vdd)) {
+    stall_target_ = target;
+    enter_stall();
+    return;
+  }
+  const sim::Time d = ctx_->model.delay(
+      vdd, cap_factor_ * ctx_->model.tech().c_inv * delay_stages_,
+      vth_offset_);
+  pending_ = true;
+  pending_value_ = target;
+  const std::uint64_t gen = ++generation_;
+  ctx_->kernel.schedule(d, [this, target, gen] { apply_output(target, gen); });
+}
+
+void Gate::apply_output(bool target, std::uint64_t generation) {
+  if (!pending_ || generation != generation_) return;  // retracted
+  pending_ = false;
+  const double vdd = ctx_->supply.voltage();
+  if (!ctx_->model.operational(vdd)) {
+    // Supply collapsed while the transition was in flight: the output
+    // never made it; park and retry on recovery.
+    stall_target_ = target;
+    enter_stall();
+    return;
+  }
+  const double cload = cap_factor_ * ctx_->model.tech().c_inv;
+  ctx_->supply.draw(ctx_->model.switching_charge(vdd, cload),
+                    ctx_->model.switching_energy(vdd, cload));
+  if (metered_) {
+    ctx_->meter->record_transition(meter_id_,
+                                   ctx_->model.switching_energy(vdd, cload));
+  }
+  ++fires_;
+  out_->set(target);
+  on_output_committed();
+}
+
+void Gate::enter_stall() {
+  stalled_ = true;
+  const sim::Time hint = ctx_->supply.retry_hint();
+  if (hint != sim::kTimeMax) {
+    ctx_->kernel.schedule(hint, [this] {
+      if (stalled_) retry();
+    });
+  }
+  // else: wait for the supply's wake callback (registered in the ctor).
+}
+
+void Gate::retry() {
+  const double vdd = ctx_->supply.voltage();
+  const double resume = ctx_->model.tech().vmin_operate +
+                        ctx_->model.tech().vmin_hysteresis;
+  if (vdd < resume) {
+    // Still brown: keep polling if the supply is time-driven.
+    const sim::Time hint = ctx_->supply.retry_hint();
+    if (hint != sim::kTimeMax) {
+      ctx_->kernel.schedule(hint, [this] {
+        if (stalled_) retry();
+      });
+    }
+    return;
+  }
+  stalled_ = false;
+  // Re-derive the target from the (possibly changed) inputs.
+  const bool target = evaluate(out_->read());
+  if (target != out_->read()) schedule_output(target);
+}
+
+}  // namespace emc::gates

@@ -1,0 +1,108 @@
+// Voltage-aware gate base class.
+//
+// A Gate watches its input wires; on any change it re-evaluates and, if
+// the output must move, schedules the transition after a delay computed
+// from the *current* supply voltage (quasi-static approximation — supply
+// transients are slow compared with one gate delay, and capacitor
+// droop per transition is ~1e-5 of Vdd). When the transition matures the
+// gate draws C*V and C*V^2 from the supply and reports to the meter.
+//
+// Inertial semantics: re-evaluation while a transition is in flight either
+// confirms it (kept), or retracts it (pulse shorter than the gate delay is
+// swallowed) — the behaviour speed-independence proofs assume.
+//
+// Stalling: if the supply is below Tech::vmin_operate at schedule or
+// apply time, the gate parks. It resumes via supply wake callbacks
+// (storage caps) or by polling at supply.retry_hint() (AC sources). This
+// is how the Fig. 4 counter freezes in the troughs of the 1 MHz supply
+// and continues, state intact, on the next crest.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "device/delay_model.hpp"
+#include "gates/energy_meter.hpp"
+#include "sim/signal.hpp"
+#include "supply/supply.hpp"
+
+namespace emc::gates {
+
+/// Everything a gate needs from its environment; one Context is shared by
+/// all gates of a circuit.
+struct Context {
+  sim::Kernel& kernel;
+  const device::DelayModel& model;
+  supply::Supply& supply;
+  EnergyMeter* meter = nullptr;  ///< optional
+};
+
+class Gate {
+ public:
+  /// `delay_stages` — delay in units of a reference inverter (a complex
+  /// cell like a C-element counts ~2); `cap_factor` — switched
+  /// capacitance in units of the reference inverter's; `vth_offset` —
+  /// per-instance threshold shift (process corner / Monte-Carlo mismatch).
+  Gate(Context& ctx, std::string name, sim::Wire& out, double delay_stages,
+       double cap_factor, double vth_offset = 0.0, double leak_width = 3.0);
+  virtual ~Gate() = default;
+
+  Gate(const Gate&) = delete;
+  Gate& operator=(const Gate&) = delete;
+
+  const std::string& name() const { return name_; }
+  sim::Wire& out() { return *out_; }
+  const sim::Wire& out() const { return *out_; }
+
+  /// Wire this gate to listen to `w` (call once per input).
+  void listen(sim::Wire& w);
+
+  /// Force an evaluation (used at power-on to settle initial values).
+  void touch() { on_input_change(); }
+
+  bool stalled() const { return stalled_; }
+  std::uint64_t fires() const { return fires_; }
+
+  /// Per-instance threshold mismatch accessor (Monte-Carlo analyses).
+  double vth_offset() const { return vth_offset_; }
+  void set_vth_offset(double v) { vth_offset_ = v; }
+
+ protected:
+  /// Compute the target output value from the current input values.
+  /// `current` is the present output (for state-holding gates).
+  virtual bool evaluate(bool current) const = 0;
+
+  Context& ctx() { return *ctx_; }
+  const Context& ctx() const { return *ctx_; }
+
+  /// Derived classes with internal state (toggle, mutex) may need to know
+  /// when the scheduled output actually commits.
+  virtual void on_output_committed() {}
+
+  void on_input_change();
+
+ private:
+  void schedule_output(bool target);
+  void apply_output(bool target, std::uint64_t generation);
+  void enter_stall();
+  void retry();
+
+  Context* ctx_;
+  std::string name_;
+  sim::Wire* out_;
+  double delay_stages_;
+  double cap_factor_;
+  double vth_offset_;
+  EnergyMeter::GateId meter_id_ = 0;
+  bool metered_ = false;
+
+  bool pending_ = false;
+  bool pending_value_ = false;
+  std::uint64_t generation_ = 0;
+  bool stalled_ = false;
+  bool stall_target_ = false;
+  std::uint64_t fires_ = 0;
+};
+
+}  // namespace emc::gates

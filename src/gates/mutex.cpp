@@ -1,0 +1,125 @@
+#include "gates/mutex.hpp"
+
+#include <cmath>
+
+namespace emc::gates {
+
+Mutex::Mutex(Context& ctx, std::string name, sim::Wire& r1, sim::Wire& r2,
+             sim::Wire& g1, sim::Wire& g2, sim::Rng* rng)
+    : ctx_(&ctx), name_(std::move(name)), rng_(rng) {
+  r_[0] = &r1;
+  r_[1] = &r2;
+  g_[0] = &g1;
+  g_[1] = &g2;
+  if (ctx_->meter != nullptr) {
+    meter_id_ = ctx_->meter->add(name_, 10.0);
+    metered_ = true;
+  }
+  r1.on_change([this](const sim::Wire&) { update(); });
+  r2.on_change([this](const sim::Wire&) { update(); });
+}
+
+double Mutex::tau_seconds(const device::DelayModel& model, double vdd) {
+  // The regenerative time constant of the cross-coupled pair is of the
+  // order of one inverter delay (loop gain ~ gm/C).
+  return model.inverter_delay_seconds(vdd);
+}
+
+void Mutex::update() {
+  // Release path: owner dropped its request.
+  if (owner_ >= 0 && !r_[owner_]->read()) {
+    release(owner_);
+    return;
+  }
+  if (owner_ >= 0 || deciding_) return;  // busy
+  const bool q0 = r_[0]->read();
+  const bool q1 = r_[1]->read();
+  if (!q0 && !q1) return;
+  // The internal latch takes one evaluation delay to commit. If the
+  // opposing request shows up inside that window (checked when the
+  // decision matures), the latch was truly racing: metastability.
+  int winner;
+  double extra_s = 0.0;
+  const double vdd = ctx_->supply.voltage();
+  if (q0 && q1) {
+    ++metastable_;
+    winner = (rng_ != nullptr && rng_->chance(0.5)) ? 1 : 0;
+    const double u = rng_ != nullptr ? rng_->uniform() : 0.5;
+    extra_s = -tau_seconds(ctx_->model, vdd) * std::log(1.0 - u);
+  } else {
+    winner = q1 ? 1 : 0;
+  }
+  deciding_ = true;
+  const sim::Time d =
+      ctx_->model.delay(vdd, 2.0 * ctx_->model.tech().c_inv) +
+      sim::from_seconds(extra_s);
+  ctx_->kernel.schedule(d, [this, winner, was_single = !(q0 && q1)] {
+    deciding_ = false;
+    // A request that arrived during the decision window collided with the
+    // commit: that is a metastable event; re-arbitrate with both inputs
+    // visible (the latch re-resolves with an exponential tail).
+    if (was_single && r_[0]->read() && r_[1]->read()) {
+      ++metastable_;
+      if (rng_ != nullptr) {
+        const double v = ctx_->supply.voltage();
+        const double u = rng_->uniform();
+        const double tail = -tau_seconds(ctx_->model, v) * std::log(1.0 - u);
+        const int w = rng_->chance(0.5) ? 1 : 0;
+        deciding_ = true;
+        ctx_->kernel.schedule(sim::from_seconds(tail), [this, w] {
+          deciding_ = false;
+          if (r_[w]->read()) {
+            grant(w);
+          } else {
+            update();
+          }
+        });
+        return;
+      }
+    }
+    // The winner may have withdrawn during resolution; re-arbitrate.
+    if (r_[winner]->read()) {
+      grant(winner);
+    } else {
+      update();
+    }
+  });
+}
+
+void Mutex::grant(int which) {
+  owner_ = which;
+  ++grants_;
+  const double vdd = ctx_->supply.voltage();
+  const double cload = 2.0 * ctx_->model.tech().c_inv;
+  ctx_->supply.draw(ctx_->model.switching_charge(vdd, cload),
+                    ctx_->model.switching_energy(vdd, cload));
+  if (metered_) {
+    ctx_->meter->record_transition(meter_id_,
+                                   ctx_->model.switching_energy(vdd, cload));
+  }
+  g_[which]->set(true);
+}
+
+void Mutex::release(int which) {
+  owner_ = -1;
+  g_[which]->set(false);
+  // A waiting opponent is served immediately.
+  update();
+}
+
+double SynchronizerModel::mtbf_seconds(double vdd, double fc_hz, double fd_hz,
+                                       double settling_window_s) const {
+  const double tau = Mutex::tau_seconds(*model, vdd);
+  const double t0 = model->inverter_delay_seconds(vdd);
+  return std::exp(settling_window_s / tau) / (fc_hz * fd_hz * t0);
+}
+
+double SynchronizerModel::required_window_s(double vdd, double fc_hz,
+                                            double fd_hz,
+                                            double mtbf_target_s) const {
+  const double tau = Mutex::tau_seconds(*model, vdd);
+  const double t0 = model->inverter_delay_seconds(vdd);
+  return tau * std::log(mtbf_target_s * fc_hz * fd_hz * t0);
+}
+
+}  // namespace emc::gates

@@ -1,0 +1,68 @@
+// Mutual-exclusion element with a metastability model, and the
+// synchronizer mathematics of [5].
+//
+// A mutex grants at most one of two competing requests. When requests
+// arrive within one gate delay of each other the internal latch enters
+// metastability and resolves after an exponentially distributed extra
+// time with constant tau(V) — and tau grows steeply at low Vdd, which is
+// why the paper calls for Vdd-robust synchronizers as a building block of
+// power-adaptive systems. The same tau feeds the classic MTBF formula
+// exposed by SynchronizerModel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "device/delay_model.hpp"
+#include "gates/energy_meter.hpp"
+#include "gates/gate.hpp"
+#include "sim/random.hpp"
+#include "sim/signal.hpp"
+
+namespace emc::gates {
+
+class Mutex {
+ public:
+  Mutex(Context& ctx, std::string name, sim::Wire& r1, sim::Wire& r2,
+        sim::Wire& g1, sim::Wire& g2, sim::Rng* rng = nullptr);
+
+  std::uint64_t grants() const { return grants_; }
+  std::uint64_t metastable_events() const { return metastable_; }
+
+  /// Metastability time constant at `vdd` [s]: proportional to the
+  /// regenerative loop delay of the internal latch.
+  static double tau_seconds(const device::DelayModel& model, double vdd);
+
+ private:
+  void update();
+  void grant(int which);
+  void release(int which);
+
+  Context* ctx_;
+  std::string name_;
+  sim::Wire* r_[2];
+  sim::Wire* g_[2];
+  sim::Rng* rng_;
+  EnergyMeter::GateId meter_id_ = 0;
+  bool metered_ = false;
+  int owner_ = -1;  ///< -1 free, 0/1 granted side
+  bool deciding_ = false;
+  std::uint64_t grants_ = 0;
+  std::uint64_t metastable_ = 0;
+};
+
+/// Two-flop synchronizer failure analysis (Kinniment/[5]).
+struct SynchronizerModel {
+  const device::DelayModel* model;
+
+  /// MTBF for clock frequency fc, data rate fd and settling window tw:
+  /// MTBF = exp(tw / tau) / (fc * fd * T0) with T0 ~ one gate delay.
+  double mtbf_seconds(double vdd, double fc_hz, double fd_hz,
+                      double settling_window_s) const;
+
+  /// Settling window needed for a target MTBF (inverse of the above).
+  double required_window_s(double vdd, double fc_hz, double fd_hz,
+                           double mtbf_target_s) const;
+};
+
+}  // namespace emc::gates

@@ -1,0 +1,92 @@
+#include "gates/toggle.hpp"
+
+namespace emc::gates {
+
+Toggle::Toggle(Context& ctx, std::string name, sim::Wire& in, sim::Wire& dot,
+               sim::Wire& blank, double vth_offset)
+    : ctx_(&ctx),
+      name_(std::move(name)),
+      dot_(&dot),
+      blank_(&blank),
+      vth_offset_(vth_offset) {
+  if (ctx_->meter != nullptr) {
+    meter_id_ = ctx_->meter->add(name_, kLeakWidth);
+    metered_ = true;
+  }
+  in.on_change([this](const sim::Wire&) { on_input(); });
+  ctx_->supply.on_wake([this] {
+    if (stalled_) retry();
+  });
+}
+
+void Toggle::on_input() {
+  ++unserved_;
+  if (!in_flight_ && !stalled_) try_fire();
+}
+
+void Toggle::try_fire() {
+  if (unserved_ == 0) return;
+  const double vdd = ctx_->supply.voltage();
+  if (!ctx_->model.operational(vdd)) {
+    enter_stall();
+    return;
+  }
+  const sim::Time d = ctx_->model.delay(
+      vdd, ctx_->model.tech().c_inv * kDelayStages, vth_offset_);
+  in_flight_ = true;
+  ctx_->kernel.schedule(d, [this] { apply(); });
+}
+
+void Toggle::apply() {
+  in_flight_ = false;
+  const double vdd = ctx_->supply.voltage();
+  if (!ctx_->model.operational(vdd)) {
+    enter_stall();
+    return;
+  }
+  const double cload = kCapFactor * ctx_->model.tech().c_inv;
+  ctx_->supply.draw(ctx_->model.switching_charge(vdd, cload),
+                    ctx_->model.switching_energy(vdd, cload));
+  if (metered_) {
+    ctx_->meter->record_transition(meter_id_,
+                                   ctx_->model.switching_energy(vdd, cload));
+  }
+  --unserved_;
+  ++fires_;
+  if (phase_dot_) {
+    dot_->set(!dot_->read());
+  } else {
+    blank_->set(!blank_->read());
+  }
+  phase_dot_ = !phase_dot_;
+  if (unserved_ > 0) try_fire();
+}
+
+void Toggle::enter_stall() {
+  stalled_ = true;
+  const sim::Time hint = ctx_->supply.retry_hint();
+  if (hint != sim::kTimeMax) {
+    ctx_->kernel.schedule(hint, [this] {
+      if (stalled_) retry();
+    });
+  }
+}
+
+void Toggle::retry() {
+  const double vdd = ctx_->supply.voltage();
+  const double resume = ctx_->model.tech().vmin_operate +
+                        ctx_->model.tech().vmin_hysteresis;
+  if (vdd < resume) {
+    const sim::Time hint = ctx_->supply.retry_hint();
+    if (hint != sim::kTimeMax) {
+      ctx_->kernel.schedule(hint, [this] {
+        if (stalled_) retry();
+      });
+    }
+    return;
+  }
+  stalled_ = false;
+  try_fire();
+}
+
+}  // namespace emc::gates

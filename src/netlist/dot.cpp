@@ -1,0 +1,38 @@
+#include "netlist/dot.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace emc::netlist {
+
+namespace {
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+}  // namespace
+
+std::string to_dot(const Circuit& circuit) {
+  std::ostringstream os;
+  os << "digraph " << quote(circuit.name()) << " {\n"
+     << "  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+  for (const auto& [from, to] : circuit.edges()) {
+    os << "  " << quote(from) << " -> " << quote(to) << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+bool write_dot(const Circuit& circuit, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_dot(circuit);
+  return static_cast<bool>(out);
+}
+
+}  // namespace emc::netlist

@@ -1,0 +1,16 @@
+// Graphviz export of circuit connectivity (documentation aid).
+#pragma once
+
+#include <string>
+
+#include "netlist/module.hpp"
+
+namespace emc::netlist {
+
+/// Render the recorded edges of `circuit` as a DOT digraph.
+std::string to_dot(const Circuit& circuit);
+
+/// Write the DOT text to `path`; returns false on I/O failure.
+bool write_dot(const Circuit& circuit, const std::string& path);
+
+}  // namespace emc::netlist

@@ -1,0 +1,3 @@
+#include "netlist/module.hpp"
+
+// Circuit is header-only; this TU anchors the header in the library.

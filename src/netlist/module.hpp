@@ -1,0 +1,84 @@
+// Circuit: an owning container for wires and gates with hierarchical
+// naming, the unit from which the paper's blocks (counters, SRAM,
+// sensors) are assembled.
+//
+// Ownership model: a Circuit owns its wires and gates (unique_ptr, stable
+// addresses); gates reference wires; everything shares one Context
+// (kernel + delay model + supply + meter). Circuits are built once and
+// torn down together — no dynamic reconfiguration, matching silicon.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gates/combinational.hpp"
+#include "gates/gate.hpp"
+#include "sim/signal.hpp"
+
+namespace emc::netlist {
+
+class Circuit {
+ public:
+  Circuit(gates::Context& ctx, std::string name)
+      : ctx_(&ctx), name_(std::move(name)) {}
+
+  Circuit(const Circuit&) = delete;
+  Circuit& operator=(const Circuit&) = delete;
+
+  const std::string& name() const { return name_; }
+  gates::Context& ctx() const { return *ctx_; }
+
+  /// Create (and own) a wire named `<circuit>.<local>`.
+  sim::Wire& wire(const std::string& local, bool initial = false) {
+    wires_.push_back(std::make_unique<sim::Wire>(ctx_->kernel,
+                                                 name_ + "." + local, initial));
+    return *wires_.back();
+  }
+
+  /// Create (and own) any gate-like object; records connectivity for DOT
+  /// export when `inputs`/`output` are passed.
+  template <typename T, typename... Args>
+  T& emplace(Args&&... args) {
+    auto owned = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *owned;
+    gates_.push_back(
+        std::unique_ptr<void, void (*)(void*)>(owned.release(), [](void* p) {
+          delete static_cast<T*>(p);
+        }));
+    return ref;
+  }
+
+  /// Convenience: combinational gate with connectivity recording.
+  gates::CombGate& comb(const std::string& local, gates::Op op,
+                        std::vector<sim::Wire*> inputs, sim::Wire& out,
+                        double vth_offset = 0.0) {
+    for (auto* w : inputs) edges_.emplace_back(w->name(), name_ + "." + local);
+    edges_.emplace_back(name_ + "." + local, out.name());
+    return emplace<gates::CombGate>(*ctx_, name_ + "." + local, op,
+                                    std::move(inputs), out, vth_offset);
+  }
+
+  /// Record an edge manually (for gates built via emplace<>).
+  void note_edge(const std::string& from, const std::string& to) {
+    edges_.emplace_back(from, to);
+  }
+
+  const std::vector<std::pair<std::string, std::string>>& edges() const {
+    return edges_;
+  }
+
+  std::size_t wire_count() const { return wires_.size(); }
+  std::size_t element_count() const { return gates_.size(); }
+
+ private:
+  gates::Context* ctx_;
+  std::string name_;
+  std::vector<std::unique_ptr<sim::Wire>> wires_;
+  std::vector<std::unique_ptr<void, void (*)(void*)>> gates_;
+  std::vector<std::pair<std::string, std::string>> edges_;
+};
+
+}  // namespace emc::netlist

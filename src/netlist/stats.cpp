@@ -1,0 +1,28 @@
+#include "netlist/stats.hpp"
+
+namespace emc::netlist {
+
+ActivitySnapshot snapshot(gates::EnergyMeter& meter, sim::Time now,
+                          std::size_t depth) {
+  meter.integrate_leakage();
+  ActivitySnapshot s;
+  s.when = now;
+  s.transitions = meter.total_transitions();
+  s.dynamic_j = meter.dynamic_energy();
+  s.leakage_j = meter.leakage_energy();
+  s.transitions_by_module = meter.transitions_by_prefix(depth);
+  s.energy_by_module = meter.energy_by_prefix(depth);
+  return s;
+}
+
+ActivityDelta delta(const ActivitySnapshot& earlier,
+                    const ActivitySnapshot& later) {
+  ActivityDelta d;
+  d.seconds = sim::to_seconds(later.when - earlier.when);
+  d.transitions = later.transitions - earlier.transitions;
+  d.dynamic_j = later.dynamic_j - earlier.dynamic_j;
+  d.leakage_j = later.leakage_j - earlier.leakage_j;
+  return d;
+}
+
+}  // namespace emc::netlist

@@ -1,0 +1,50 @@
+// Activity/energy snapshots and deltas.
+//
+// Power-adaptive control needs *rates*: the activity tracker of Fig. 3
+// samples the meter periodically and works with deltas between
+// snapshots (transitions and joules per window), which is what these
+// helpers compute.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "gates/energy_meter.hpp"
+#include "sim/time.hpp"
+
+namespace emc::netlist {
+
+struct ActivitySnapshot {
+  sim::Time when = 0;
+  std::uint64_t transitions = 0;
+  double dynamic_j = 0.0;
+  double leakage_j = 0.0;
+  std::map<std::string, std::uint64_t> transitions_by_module;
+  std::map<std::string, double> energy_by_module;
+};
+
+/// Capture the meter state (rolled up at `depth` name components).
+ActivitySnapshot snapshot(gates::EnergyMeter& meter, sim::Time now,
+                          std::size_t depth = 1);
+
+struct ActivityDelta {
+  double seconds = 0.0;
+  std::uint64_t transitions = 0;
+  double dynamic_j = 0.0;
+  double leakage_j = 0.0;
+
+  double transition_rate_hz() const {
+    return seconds > 0.0 ? static_cast<double>(transitions) / seconds : 0.0;
+  }
+  double power_w() const {
+    return seconds > 0.0 ? (dynamic_j + leakage_j) / seconds : 0.0;
+  }
+  double energy_j() const { return dynamic_j + leakage_j; }
+};
+
+/// Activity between two snapshots (later minus earlier).
+ActivityDelta delta(const ActivitySnapshot& earlier,
+                    const ActivitySnapshot& later);
+
+}  // namespace emc::netlist

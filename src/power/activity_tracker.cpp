@@ -1,0 +1,3 @@
+#include "power/activity_tracker.hpp"
+
+// Header-only; TU anchors the header.

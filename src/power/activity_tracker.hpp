@@ -1,0 +1,61 @@
+// Activity tracker (the "tracker of the activity" of §II.B's second,
+// flexible strategy).
+//
+// Counts useful operations (not raw transitions — those are the meter's
+// job) in sliding windows, giving the dynamic scheduler the ops/s and
+// ops/J feedback it modulates the load with.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/kernel.hpp"
+
+namespace emc::power {
+
+class ActivityTracker {
+ public:
+  ActivityTracker(sim::Kernel& kernel, sim::Time window = sim::ms(1))
+      : kernel_(&kernel), window_(window) {}
+
+  /// Record one completed useful operation (optionally weighted).
+  void note_op(double weight = 1.0) {
+    total_ops_ += weight;
+    events_.emplace_back(kernel_->now(), weight);
+    evict();
+  }
+
+  double total_ops() const { return total_ops_; }
+
+  /// Ops per second over the sliding window.
+  double rate_hz() {
+    evict();
+    double sum = 0.0;
+    for (const auto& [t, w] : events_) sum += w;
+    return sum / sim::to_seconds(window_);
+  }
+
+  /// Ops in the window (unscaled).
+  double ops_in_window() {
+    evict();
+    double sum = 0.0;
+    for (const auto& [t, w] : events_) sum += w;
+    return sum;
+  }
+
+ private:
+  void evict() {
+    const sim::Time now = kernel_->now();
+    const sim::Time horizon = now > window_ ? now - window_ : 0;
+    while (!events_.empty() && events_.front().first < horizon) {
+      events_.pop_front();
+    }
+  }
+
+  sim::Kernel* kernel_;
+  sim::Time window_;
+  std::deque<std::pair<sim::Time, double>> events_;
+  double total_ops_ = 0.0;
+};
+
+}  // namespace emc::power

@@ -1,0 +1,52 @@
+#include "power/adaptive_controller.hpp"
+
+namespace emc::power {
+
+AdaptiveController::AdaptiveController(sim::Kernel& kernel, VddProbe& probe,
+                                       AdaptiveParams params, LevelKnob knob,
+                                       HybridController* hybrid)
+    : kernel_(&kernel),
+      probe_(&probe),
+      params_(std::move(params)),
+      knob_(std::move(knob)),
+      hybrid_(hybrid) {}
+
+void AdaptiveController::start() {
+  if (running_) return;
+  running_ = true;
+  kernel_->schedule(params_.control_period, [this] { tick(); });
+}
+
+std::uint32_t AdaptiveController::level_for(double vdd) const {
+  std::uint32_t lvl = 0;
+  for (double edge : params_.band_edges) {
+    // Hysteresis: raising a level needs edge + h; dropping needs edge - h.
+    const double eff = (lvl >= level_) ? edge + params_.hysteresis
+                                       : edge - params_.hysteresis;
+    if (vdd >= eff) ++lvl;
+  }
+  return lvl;
+}
+
+void AdaptiveController::tick() {
+  if (!running_) return;
+  ++ticks_;
+  probe_->estimate([this](double vdd, bool valid) {
+    if (valid) {
+      last_estimate_ = vdd;
+      sensing_energy_j_ += probe_->cost_j();
+      const std::uint32_t lvl = level_for(vdd);
+      if (lvl != level_) {
+        level_ = lvl;
+        ++level_changes_;
+        if (knob_) knob_(level_);
+      }
+      if (hybrid_ != nullptr) hybrid_->update(vdd);
+    }
+    if (running_) {
+      kernel_->schedule(params_.control_period, [this] { tick(); });
+    }
+  });
+}
+
+}  // namespace emc::power

@@ -1,0 +1,36 @@
+#include "power/dvfs.hpp"
+
+#include <cassert>
+
+namespace emc::power {
+
+DvfsController::DvfsController(supply::Battery& rail, DvfsParams params)
+    : rail_(&rail), params_(std::move(params)), idx_(params_.levels.size() - 1) {
+  assert(!params_.levels.empty());
+  rail_->set_voltage(params_.levels[idx_]);
+}
+
+double DvfsController::update(double utilization) {
+  std::size_t target = idx_;
+  if (utilization > params_.up_at && idx_ + 1 < params_.levels.size()) {
+    target = idx_ + 1;
+  } else if (utilization < params_.down_at && idx_ > 0) {
+    target = idx_ - 1;
+  }
+  if (target != idx_) {
+    const double v_old = params_.levels[idx_];
+    const double v_new = params_.levels[target];
+    if (v_new > v_old) {
+      // Charging the rail capacitance from v_old to v_new costs
+      // C * (v_new^2 - v_old^2) / 2 from the store (ideal converter).
+      switch_energy_j_ +=
+          0.5 * params_.rail_cap_f * (v_new * v_new - v_old * v_old);
+    }
+    idx_ = target;
+    rail_->set_voltage(v_new);
+    ++switches_;
+  }
+  return params_.levels[idx_];
+}
+
+}  // namespace emc::power

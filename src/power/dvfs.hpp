@@ -1,0 +1,47 @@
+// DVFS baseline — the traditional battery-world technique (§II.B).
+//
+// Steps a regulated supply between discrete levels according to load
+// utilization. It presumes a supply that can *hold* the commanded level,
+// which is exactly what a harvester cannot promise; the holistic bench
+// uses it as the conventional comparator, including the energy cost per
+// level switch (capacitor re-charge of the rail).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "supply/battery.hpp"
+
+namespace emc::power {
+
+struct DvfsParams {
+  std::vector<double> levels{0.4, 0.6, 0.8, 1.0};
+  /// Utilization thresholds for up/down shifts.
+  double up_at = 0.85;
+  double down_at = 0.35;
+  /// Rail capacitance re-charged on an upward switch [F].
+  double rail_cap_f = 2e-9;
+};
+
+class DvfsController {
+ public:
+  DvfsController(supply::Battery& rail, DvfsParams params);
+
+  /// Feed a utilization sample in [0,1]; adjusts the rail and returns the
+  /// active level.
+  double update(double utilization);
+
+  double level() const { return params_.levels[idx_]; }
+  std::uint64_t switches() const { return switches_; }
+  /// Energy spent re-charging the rail across all upward switches [J].
+  double switch_energy_j() const { return switch_energy_j_; }
+
+ private:
+  supply::Battery* rail_;
+  DvfsParams params_;
+  std::size_t idx_;
+  std::uint64_t switches_ = 0;
+  double switch_energy_j_ = 0.0;
+};
+
+}  // namespace emc::power

@@ -1,0 +1,45 @@
+#include "power/hybrid.hpp"
+
+#include <algorithm>
+
+namespace emc::power {
+
+const char* to_string(DesignMode m) {
+  switch (m) {
+    case DesignMode::kDualRail:
+      return "design1-dualrail";
+    case DesignMode::kBundled:
+      return "design2-bundled";
+  }
+  return "?";
+}
+
+HybridController::HybridController(double switch_vdd, double hysteresis)
+    : switch_vdd_(switch_vdd), hysteresis_(hysteresis) {}
+
+HybridController HybridController::from_curves(const QosCurve& dual_rail,
+                                               const QosCurve& bundled,
+                                               double min_qos) {
+  const auto cross = efficiency_crossover(dual_rail, bundled);
+  const auto b_floor = bundled.delivery_threshold(min_qos);
+  double v = cross.value_or(0.6);
+  if (b_floor) v = std::max(v, *b_floor + 0.02);  // never switch into a
+                                                  // region where Design 2
+                                                  // cannot deliver
+  return HybridController(v);
+}
+
+DesignMode HybridController::update(double vdd_estimate) {
+  if (mode_ == DesignMode::kDualRail &&
+      vdd_estimate > switch_vdd_ + hysteresis_) {
+    mode_ = DesignMode::kBundled;
+    ++switches_;
+  } else if (mode_ == DesignMode::kBundled &&
+             vdd_estimate < switch_vdd_ - hysteresis_) {
+    mode_ = DesignMode::kDualRail;
+    ++switches_;
+  }
+  return mode_;
+}
+
+}  // namespace emc::power

@@ -1,0 +1,50 @@
+// Hybrid Design-1/Design-2 mode selection (§II.A's recommendation:
+// "produce a hybrid design which combines the strengths of both, say,
+// using Design 1 in the depleted power (idle) mode and Design 2 in a
+// full power mode").
+//
+// The selector is characterized once from the two QoS curves (threshold =
+// efficiency crossover) and then driven at run time by (noisy) voltage
+// estimates, with hysteresis so sensor jitter does not cause thrashing.
+#pragma once
+
+#include <cstdint>
+
+#include "power/qos.hpp"
+
+namespace emc::power {
+
+enum class DesignMode : std::uint8_t {
+  kDualRail = 1,  ///< Design 1: SI dual-rail, works at any Vdd
+  kBundled = 2,   ///< Design 2: bundled data, efficient at nominal Vdd
+};
+
+const char* to_string(DesignMode m);
+
+class HybridController {
+ public:
+  /// `switch_vdd` — cross to Design 2 above this; characterize via
+  /// from_curves() for a principled value. `hysteresis` — dead band.
+  HybridController(double switch_vdd, double hysteresis = 0.03);
+
+  /// Derive the switch point from measured curves: the efficiency
+  /// crossover, clamped above Design 2's delivery threshold.
+  static HybridController from_curves(const QosCurve& dual_rail,
+                                      const QosCurve& bundled,
+                                      double min_qos);
+
+  /// Feed a voltage estimate; returns the (possibly updated) mode.
+  DesignMode update(double vdd_estimate);
+
+  DesignMode mode() const { return mode_; }
+  double switch_vdd() const { return switch_vdd_; }
+  std::uint64_t switches() const { return switches_; }
+
+ private:
+  double switch_vdd_;
+  double hysteresis_;
+  DesignMode mode_ = DesignMode::kDualRail;
+  std::uint64_t switches_ = 0;
+};
+
+}  // namespace emc::power

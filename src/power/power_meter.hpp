@@ -1,0 +1,84 @@
+// On-chip power metering (the "good power meters" of §II.A).
+//
+// Production rule: power adaptation needs run-time knowledge of the
+// actual supply level. VddProbe is the strategy interface; the ideal
+// probe reads the supply directly (an oracle for tests), the sensor
+// probes go through the paper's circuits plus a calibration LUT — so the
+// adaptive controller can be evaluated with realistic sensing error and
+// sensing energy cost. ConsumptionMeter reports the load side (W and
+// transitions/s between control ticks).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "gates/energy_meter.hpp"
+#include "netlist/stats.hpp"
+#include "sensor/calibration.hpp"
+#include "sensor/reference_free.hpp"
+#include "supply/supply.hpp"
+
+namespace emc::power {
+
+class VddProbe {
+ public:
+  virtual ~VddProbe() = default;
+  /// Asynchronously estimate the supply voltage; `cb(volts, valid)`.
+  virtual void estimate(std::function<void(double, bool)> cb) = 0;
+  /// Energy cost of one estimate [J] (billed by the implementation).
+  virtual double cost_j() const = 0;
+};
+
+/// Oracle probe: reads the supply object directly, free of cost. The
+/// baseline "perfect knowledge" controller for ablations.
+class DirectProbe final : public VddProbe {
+ public:
+  explicit DirectProbe(supply::Supply& supply) : supply_(&supply) {}
+  void estimate(std::function<void(double, bool)> cb) override {
+    cb(supply_->voltage(), true);
+  }
+  double cost_j() const override { return 0.0; }
+
+ private:
+  supply::Supply* supply_;
+};
+
+/// Reference-free sensor probe: race measurement + LUT inversion.
+class RefFreeProbe final : public VddProbe {
+ public:
+  RefFreeProbe(sensor::ReferenceFreeSensor& sensor,
+               sensor::CalibrationTable table)
+      : sensor_(&sensor), table_(std::move(table)) {}
+
+  void estimate(std::function<void(double, bool)> cb) override;
+  double cost_j() const override;
+
+ private:
+  sensor::ReferenceFreeSensor* sensor_;
+  sensor::CalibrationTable table_;
+};
+
+/// Windowed consumption measurement from the energy meter.
+class ConsumptionMeter {
+ public:
+  ConsumptionMeter(sim::Kernel& kernel, gates::EnergyMeter& meter)
+      : kernel_(&kernel), meter_(&meter) {
+    last_ = netlist::snapshot(*meter_, kernel_->now());
+  }
+
+  /// Close the current window and return its activity.
+  netlist::ActivityDelta lap() {
+    auto now = netlist::snapshot(*meter_, kernel_->now());
+    auto d = netlist::delta(last_, now);
+    last_ = now;
+    return d;
+  }
+
+ private:
+  sim::Kernel* kernel_;
+  gates::EnergyMeter* meter_;
+  netlist::ActivitySnapshot last_;
+};
+
+}  // namespace emc::power

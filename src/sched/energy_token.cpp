@@ -1,0 +1,34 @@
+#include "sched/energy_token.hpp"
+
+#include <cmath>
+
+namespace emc::sched {
+
+EnergyTokenPool::EnergyTokenPool(supply::StorageCap& store, double token_j,
+                                 double reserve_v)
+    : store_(&store), token_j_(token_j), reserve_v_(reserve_v) {}
+
+std::uint64_t EnergyTokenPool::available() const {
+  const double reserve_j =
+      0.5 * store_->capacitance() * reserve_v_ * reserve_v_;
+  const double spendable = store_->stored_energy() - reserve_j;
+  if (spendable <= 0.0) return 0;
+  const auto tokens = static_cast<std::uint64_t>(spendable / token_j_);
+  return tokens > held_ ? tokens - held_ : 0;
+}
+
+bool EnergyTokenPool::try_acquire(std::uint64_t n) {
+  if (available() < n) {
+    ++rejections_;
+    return false;
+  }
+  held_ += n;
+  acquired_ += n;
+  return true;
+}
+
+void EnergyTokenPool::release(std::uint64_t n) {
+  held_ = n > held_ ? 0 : held_ - n;
+}
+
+}  // namespace emc::sched

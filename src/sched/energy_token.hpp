@@ -1,0 +1,51 @@
+// Energy tokens ([15]: "Task scheduling based on energy token model").
+//
+// Energy is quantized into tokens; a task may only start when the pool
+// holds its price, making the energy constraint explicit in the
+// scheduler instead of discovered via brown-out. The pool mirrors a
+// storage capacitor: tokens above a reserve voltage are spendable, the
+// reserve keeps the logic alive through the dip an admitted task causes.
+#pragma once
+
+#include <cstdint>
+
+#include "supply/storage_cap.hpp"
+
+namespace emc::sched {
+
+class EnergyTokenPool {
+ public:
+  /// `token_j` — energy per token; `reserve_v` — store voltage below
+  /// which no tokens are issued (kept for the control logic itself).
+  EnergyTokenPool(supply::StorageCap& store, double token_j,
+                  double reserve_v);
+
+  /// Tokens currently spendable (computed from the store's live energy
+  /// above the reserve, minus outstanding holds).
+  std::uint64_t available() const;
+
+  /// Try to put a hold on `n` tokens; the energy is still in the store
+  /// (the task draws it physically while running) but no other task may
+  /// claim it. Returns false if not available.
+  bool try_acquire(std::uint64_t n);
+
+  /// Release a hold after the task finished (or was aborted); the
+  /// physical draw already happened through the supply.
+  void release(std::uint64_t n);
+
+  double token_j() const { return token_j_; }
+  double reserve_v() const { return reserve_v_; }
+  std::uint64_t holds() const { return held_; }
+  std::uint64_t total_acquired() const { return acquired_; }
+  std::uint64_t rejections() const { return rejections_; }
+
+ private:
+  supply::StorageCap* store_;
+  double token_j_;
+  double reserve_v_;
+  std::uint64_t held_ = 0;
+  std::uint64_t acquired_ = 0;
+  std::uint64_t rejections_ = 0;
+};
+
+}  // namespace emc::sched

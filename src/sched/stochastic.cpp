@@ -1,0 +1,92 @@
+#include "sched/stochastic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace emc::sched {
+
+double ConcurrencyModel::service_rate(std::size_t k) const {
+  if (k == 0) return 0.0;
+  const double c_power = power_budget_w / power_per_task_w;
+  const double in_service =
+      std::min(static_cast<double>(std::min(k, max_concurrency)), c_power);
+  return in_service * mu_hz;
+}
+
+double ConcurrencyModel::power(std::size_t k) const {
+  const double c_power = power_budget_w / power_per_task_w;
+  const double in_service =
+      std::min(static_cast<double>(std::min(k, max_concurrency)), c_power);
+  return in_service * power_per_task_w;
+}
+
+ConcurrencyResult solve_analytic(const ConcurrencyModel& m) {
+  const std::size_t cap = m.queue_capacity;
+  // Stationary probabilities: pi_k ~ prod_{j=1..k} lambda / sigma(j).
+  std::vector<double> pi(cap + 1, 0.0);
+  pi[0] = 1.0;
+  double norm = 1.0;
+  for (std::size_t k = 1; k <= cap; ++k) {
+    pi[k] = pi[k - 1] * m.lambda_hz / m.service_rate(k);
+    norm += pi[k];
+  }
+  for (auto& p : pi) p /= norm;
+
+  ConcurrencyResult r;
+  for (std::size_t k = 0; k <= cap; ++k) {
+    r.mean_tasks += static_cast<double>(k) * pi[k];
+    r.mean_power_w += m.power(k) * pi[k];
+  }
+  r.blocking_probability = pi[cap];
+  const double accepted = m.lambda_hz * (1.0 - r.blocking_probability);
+  r.throughput_hz = accepted;
+  r.mean_latency_s = accepted > 0.0 ? r.mean_tasks / accepted : 0.0;
+  r.utilization = r.mean_power_w / m.power_budget_w;
+  return r;
+}
+
+ConcurrencyResult simulate(const ConcurrencyModel& m, sim::Rng& rng,
+                           double horizon_s) {
+  // Event-driven CTMC simulation with time-weighted state statistics.
+  double t = 0.0;
+  std::size_t k = 0;
+  double area_n = 0.0;
+  double area_p = 0.0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t blocked = 0;
+  std::uint64_t completions = 0;
+  while (t < horizon_s) {
+    const double rate_arr = m.lambda_hz;
+    const double rate_dep = m.service_rate(k);
+    const double total = rate_arr + rate_dep;
+    const double dt = rng.exponential_mean(1.0 / total);
+    const double step = std::min(dt, horizon_s - t);
+    area_n += static_cast<double>(k) * step;
+    area_p += m.power(k) * step;
+    t += dt;
+    if (t >= horizon_s) break;
+    if (rng.uniform() * total < rate_arr) {
+      ++arrivals;
+      if (k >= m.queue_capacity) {
+        ++blocked;
+      } else {
+        ++k;
+      }
+    } else if (k > 0) {
+      --k;
+      ++completions;
+    }
+  }
+  ConcurrencyResult r;
+  r.mean_tasks = area_n / horizon_s;
+  r.mean_power_w = area_p / horizon_s;
+  r.blocking_probability =
+      arrivals > 0 ? static_cast<double>(blocked) / double(arrivals) : 0.0;
+  r.throughput_hz = static_cast<double>(completions) / horizon_s;
+  r.mean_latency_s =
+      r.throughput_hz > 0.0 ? r.mean_tasks / r.throughput_hz : 0.0;
+  r.utilization = r.mean_power_w / m.power_budget_w;
+  return r;
+}
+
+}  // namespace emc::sched

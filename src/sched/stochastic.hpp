@@ -1,0 +1,53 @@
+// Stochastic analysis of power, latency and degree of concurrency ([12]).
+//
+// The paper's companion analysis (Chen/Mitrani et al., ISCAS'10) models a
+// multi-task system as a birth-death Markov chain: tasks arrive at rate
+// lambda, up to K run concurrently, and the *power budget* caps how many
+// can be served at full speed — service capacity is
+// min(k, c_power) * mu, with c_power = P_budget / P_task. Increasing the
+// degree of concurrency K buys latency until the power budget saturates;
+// past that point extra concurrency only grows the queue. Both the
+// closed-form stationary solution and a discrete-event simulation of the
+// same chain are provided so they can be cross-checked.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "sim/random.hpp"
+
+namespace emc::sched {
+
+struct ConcurrencyModel {
+  double lambda_hz = 1000.0;  ///< task arrival rate
+  double mu_hz = 400.0;       ///< per-task service rate at full power
+  std::size_t max_concurrency = 4;  ///< K: admitted into service
+  double power_budget_w = 400e-6;
+  double power_per_task_w = 150e-6;
+  std::size_t queue_capacity = 64;  ///< total in system (service + queue)
+
+  /// Effective service rate with k tasks in system.
+  double service_rate(std::size_t k) const;
+  /// Power drawn with k tasks in system.
+  double power(std::size_t k) const;
+};
+
+struct ConcurrencyResult {
+  double mean_tasks = 0.0;        ///< E[N]
+  double mean_latency_s = 0.0;    ///< via Little's law
+  double mean_power_w = 0.0;      ///< E[P(N)]
+  double throughput_hz = 0.0;     ///< accepted-task completion rate
+  double blocking_probability = 0.0;
+  double utilization = 0.0;       ///< fraction of budgeted power used
+};
+
+/// Closed-form stationary solution of the birth-death chain.
+ConcurrencyResult solve_analytic(const ConcurrencyModel& m);
+
+/// Discrete-event simulation of the same chain (for cross-validation and
+/// for extensions the closed form cannot handle).
+ConcurrencyResult simulate(const ConcurrencyModel& m, sim::Rng& rng,
+                           double horizon_s = 5.0);
+
+}  // namespace emc::sched

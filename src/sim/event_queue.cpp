@@ -1,0 +1,97 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace emc::sim {
+
+EventId EventQueue::schedule(Time t, Action action) {
+  const EventId id = next_seq_;
+  heap_.push_back(Entry{t, next_seq_, id, std::move(action)});
+  ++next_seq_;
+  ++live_;
+  sift_up(heap_.size() - 1);
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  // Lazy deletion: mark the id and skip it when it reaches the top. The
+  // cancelled list is kept sorted-free; membership is checked with a
+  // linear scan only when an entry is popped, and entries are erased as
+  // they are consumed, so the list stays short in practice (gate output
+  // retractions cancel the most recent schedule, which fires soon).
+  if (id >= next_seq_) return;
+  if (is_cancelled(id)) return;
+  cancelled_.push_back(id);
+  if (live_ > 0) --live_;
+}
+
+bool EventQueue::is_cancelled(EventId id) const {
+  return std::find(cancelled_.begin(), cancelled_.end(), id) !=
+         cancelled_.end();
+}
+
+Time EventQueue::next_time() const {
+  // A cancelled entry can still sit at the top of the heap (lazy
+  // deletion), so when it does, walk the heap for the earliest live
+  // entry. The common case — live top — stays O(1).
+  if (live_ == 0) return kTimeMax;
+  if (!is_cancelled(heap_.front().id)) return heap_.front().t;
+  Time best = kTimeMax;
+  for (const auto& e : heap_) {
+    if (!is_cancelled(e.id) && (e.t < best)) best = e.t;
+  }
+  return best;
+}
+
+std::pair<Time, Action> EventQueue::pop() {
+  assert(live_ > 0 && "pop() on empty EventQueue");
+  for (;;) {
+    assert(!heap_.empty());
+    Entry top = std::move(heap_.front());
+    // Standard binary-heap removal of the root.
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), top.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;  // skip cancelled entry
+    }
+    --live_;
+    return {top.t, std::move(top.action)};
+  }
+}
+
+void EventQueue::clear() {
+  heap_.clear();
+  cancelled_.clear();
+  live_ = 0;
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  Later later;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!later(heap_[parent], heap_[i])) break;
+    std::swap(heap_[parent], heap_[i]);
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  Later later;
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = 2 * i + 2;
+    std::size_t smallest = i;
+    if (l < n && later(heap_[smallest], heap_[l])) smallest = l;
+    if (r < n && later(heap_[smallest], heap_[r])) smallest = r;
+    if (smallest == i) return;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+}  // namespace emc::sim

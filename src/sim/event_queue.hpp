@@ -1,0 +1,81 @@
+// Priority queue of timed events with deterministic FIFO tie-breaking.
+//
+// Determinism matters for this project: speed-independent circuits are
+// verified by asserting that *every* interleaving the simulator produces
+// is hazard-free, and regression tests compare transition counts exactly.
+// Events scheduled for the same tick therefore fire in scheduling order
+// (a strictly increasing sequence number breaks ties), never in the
+// unspecified order a plain binary heap would give.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace emc::sim {
+
+/// Callback invoked when an event fires.
+using Action = std::function<void()>;
+
+/// Handle identifying a scheduled event; usable for cancellation.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  /// Schedule `action` at absolute time `t`. Returns a handle that can be
+  /// passed to cancel().
+  EventId schedule(Time t, Action action);
+
+  /// Lazily cancel a pending event. Cancelled events stay in the heap but
+  /// are skipped when popped; cancelling an already-fired or unknown id is
+  /// a harmless no-op.
+  void cancel(EventId id);
+
+  /// True if no live (non-cancelled) event remains.
+  bool empty() const { return live_ == 0; }
+
+  /// Number of live events.
+  std::size_t size() const { return live_; }
+
+  /// Time of the earliest live event; kTimeMax when empty.
+  Time next_time() const;
+
+  /// Remove and return the earliest live event.
+  /// Precondition: !empty().
+  std::pair<Time, Action> pop();
+
+  /// Drop everything (used when resetting a kernel between experiments).
+  void clear();
+
+  /// Total events ever scheduled (statistics for the micro-bench).
+  std::uint64_t total_scheduled() const { return next_seq_; }
+
+ private:
+  struct Entry {
+    Time t;
+    std::uint64_t seq;  // tie-breaker: FIFO among equal timestamps
+    EventId id;
+    Action action;
+  };
+
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  bool is_cancelled(EventId id) const;
+
+  std::vector<Entry> heap_;
+  std::vector<EventId> cancelled_;  // sorted insertion not needed; small
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace emc::sim

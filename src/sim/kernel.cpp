@@ -1,0 +1,38 @@
+#include "sim/kernel.hpp"
+
+namespace emc::sim {
+
+bool Kernel::step() {
+  if (queue_.empty()) return false;
+  auto [t, action] = queue_.pop();
+  now_ = t;
+  ++executed_;
+  action();
+  return true;
+}
+
+std::uint64_t Kernel::run_until(Time deadline) {
+  std::uint64_t n = 0;
+  cap_hit_ = false;
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    if (executed_ >= event_cap_) {
+      cap_hit_ = true;
+      break;
+    }
+    step();
+    ++n;
+  }
+  // Advance the clock to the deadline even if no event lands exactly
+  // there, so back-to-back run_until calls observe monotonic time.
+  if (deadline != kTimeMax && now_ < deadline && !cap_hit_) now_ = deadline;
+  return n;
+}
+
+void Kernel::reset() {
+  queue_.clear();
+  now_ = 0;
+  executed_ = 0;
+  cap_hit_ = false;
+}
+
+}  // namespace emc::sim

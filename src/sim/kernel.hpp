@@ -1,0 +1,83 @@
+// Discrete-event simulation kernel (SystemC-flavoured, single-threaded).
+//
+// The kernel advances a femtosecond clock through an event queue. Gates,
+// supplies and controllers are ordinary objects that schedule callbacks;
+// there is no coroutine machinery — self-timed circuits are naturally
+// event-driven, and plain callbacks keep a 100k-event/ms simulation cheap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace emc::sim {
+
+class Kernel {
+ public:
+  Kernel() = default;
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  /// Current simulation time.
+  Time now() const { return now_; }
+
+  /// Schedule `action` after `delay` ticks (0 = later this tick, after all
+  /// currently-executing callbacks return).
+  EventId schedule(Time delay, Action action) {
+    return queue_.schedule(saturating_add(now_, delay), std::move(action));
+  }
+
+  /// Schedule at an absolute timestamp. `t` in the past fires immediately
+  /// at the current time (clamped), preserving event ordering.
+  EventId schedule_at(Time t, Action action) {
+    return queue_.schedule(t < now_ ? now_ : t, std::move(action));
+  }
+
+  /// Cancel a pending event (no-op if already fired).
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Run one event. Returns false if the queue was empty.
+  bool step();
+
+  /// Run until the queue drains or `deadline` is passed. Events at exactly
+  /// `deadline` are executed. Returns the number of events executed.
+  std::uint64_t run_until(Time deadline);
+
+  /// Run until the queue drains (or the safety cap trips).
+  std::uint64_t run() { return run_until(kTimeMax); }
+
+  /// True if no event is pending.
+  bool idle() const { return queue_.empty(); }
+
+  /// Time of the next pending event (kTimeMax if none).
+  Time next_event_time() const { return queue_.next_time(); }
+
+  /// Total events executed since construction / last reset.
+  std::uint64_t events_executed() const { return executed_; }
+
+  /// Guard against runaway simulations (oscillators never drain the
+  /// queue): run_until stops after this many events. Default 500M.
+  void set_event_cap(std::uint64_t cap) { event_cap_ = cap; }
+  bool event_cap_hit() const { return cap_hit_; }
+
+  /// Reset time and drop all pending events; registered objects survive.
+  void reset();
+
+ private:
+  static Time saturating_add(Time a, Time b) {
+    const Time s = a + b;
+    return s < a ? kTimeMax : s;
+  }
+
+  EventQueue queue_;
+  Time now_ = 0;
+  std::uint64_t executed_ = 0;
+  std::uint64_t event_cap_ = 500'000'000;
+  bool cap_hit_ = false;
+};
+
+}  // namespace emc::sim

@@ -1,0 +1,4 @@
+#include "sim/random.hpp"
+
+// Header-only today; this translation unit pins the header's ODR-used
+// symbols into the library and hosts future non-inline additions.

@@ -1,0 +1,49 @@
+// Seeded randomness for reproducible Monte-Carlo experiments.
+//
+// Every stochastic component (harvester bursts, Vth mismatch, metastability
+// resolution) takes an Rng by reference so an experiment is fully
+// determined by one seed printed in its report.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace emc::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : gen_(seed) {}
+
+  /// Uniform in [0, 1).
+  double uniform() { return std::uniform_real_distribution<double>()(gen_); }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(gen_);
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t index(std::uint64_t n) {
+    return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(gen_);
+  }
+
+  /// Gaussian with mean mu and standard deviation sigma.
+  double gaussian(double mu, double sigma) {
+    return std::normal_distribution<double>(mu, sigma)(gen_);
+  }
+
+  /// Exponential with the given mean (not rate).
+  double exponential_mean(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(gen_);
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform() < p; }
+
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace emc::sim

@@ -1,0 +1,102 @@
+// Typed signals with inertial delay and observer notification.
+//
+// A Signal<T> is a named value inside a Kernel. Writers either set it
+// immediately (`set`) or schedule a future value (`schedule`); the latter
+// has inertial semantics — a newer schedule retracts an older pending one,
+// which is how a real gate output swallows a pulse shorter than its own
+// delay. Observers subscribe a callback and are notified on every change.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "sim/time.hpp"
+
+namespace emc::sim {
+
+template <typename T>
+class Signal {
+ public:
+  using Listener = std::function<void(const Signal&)>;
+
+  Signal(Kernel& kernel, std::string name, T initial = T{})
+      : kernel_(&kernel), name_(std::move(name)), value_(std::move(initial)) {}
+
+  Signal(const Signal&) = delete;
+  Signal& operator=(const Signal&) = delete;
+
+  const std::string& name() const { return name_; }
+  Kernel& kernel() const { return *kernel_; }
+
+  const T& read() const { return value_; }
+
+  /// Timestamp of the most recent value change.
+  Time last_change() const { return last_change_; }
+
+  /// Number of value changes since construction.
+  std::uint64_t transitions() const { return transitions_; }
+
+  /// Immediate write; notifies listeners synchronously when the value
+  /// actually changes. Also retracts any pending scheduled write, since
+  /// the driver has asserted a new value.
+  void set(const T& v) {
+    retract_pending();
+    apply(v);
+  }
+
+  /// Inertial delayed write: the value appears after `delay`; a subsequent
+  /// schedule() or set() before it matures retracts it.
+  void schedule(const T& v, Time delay) {
+    retract_pending();
+    if (delay == 0) {
+      apply(v);
+      return;
+    }
+    pending_ = true;
+    pending_id_ = kernel_->schedule(delay, [this, v] {
+      pending_ = false;
+      apply(v);
+    });
+  }
+
+  /// True if a delayed write is in flight.
+  bool has_pending() const { return pending_; }
+
+  /// Register a change listener. Listeners must outlive the signal or be
+  /// removed via the returned subscription index (not needed in practice:
+  /// circuits are built once and torn down together).
+  void on_change(Listener fn) { listeners_.push_back(std::move(fn)); }
+
+ private:
+  void retract_pending() {
+    if (pending_) {
+      kernel_->cancel(pending_id_);
+      pending_ = false;
+    }
+  }
+
+  void apply(const T& v) {
+    if (v == value_) return;
+    value_ = v;
+    last_change_ = kernel_->now();
+    ++transitions_;
+    for (auto& fn : listeners_) fn(*this);
+  }
+
+  Kernel* kernel_;
+  std::string name_;
+  T value_;
+  Time last_change_ = 0;
+  std::uint64_t transitions_ = 0;
+  bool pending_ = false;
+  EventId pending_id_ = 0;
+  std::vector<Listener> listeners_;
+};
+
+/// Digital rail — the workhorse type for gate-level circuits.
+using Wire = Signal<bool>;
+
+}  // namespace emc::sim

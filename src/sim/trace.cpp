@@ -1,0 +1,109 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace emc::sim {
+
+VcdWriter::VcdWriter(std::string path) : path_(std::move(path)) {}
+
+VcdWriter::~VcdWriter() { finalize(); }
+
+std::string VcdWriter::id_for(std::size_t index) {
+  // VCD identifiers are short printable-ASCII strings; base-94 encode.
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index > 0);
+  return id;
+}
+
+void VcdWriter::add(Wire& wire) {
+  const std::size_t channel = channels_.size();
+  channels_.push_back(Channel{id_for(channel), wire.name(), wire.read()});
+  wire.on_change([this, channel, &wire](const Wire&) {
+    record(channel, wire.read(), wire.kernel().now());
+  });
+}
+
+void VcdWriter::record(std::size_t channel, bool value, Time t) {
+  Channel& ch = channels_[channel];
+  ch.last = value;
+  body_.emplace_back(t, (value ? "1" : "0") + ch.id);
+  ++changes_;
+}
+
+void VcdWriter::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  out_.open(path_);
+  if (!out_) return;
+  out_ << "$timescale 1 fs $end\n$scope module emc $end\n";
+  for (const auto& ch : channels_) {
+    out_ << "$var wire 1 " << ch.id << " " << ch.name << " $end\n";
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+  std::stable_sort(
+      body_.begin(), body_.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  Time last = kTimeMax;
+  for (const auto& [t, change] : body_) {
+    if (t != last) {
+      out_ << '#' << t << '\n';
+      last = t;
+    }
+    out_ << change << '\n';
+  }
+  out_.close();
+}
+
+double AnalogTrace::min_value() const {
+  double v = 0.0;
+  bool first = true;
+  for (const auto& [t, x] : points_) {
+    (void)t;
+    if (first || x < v) v = x;
+    first = false;
+  }
+  return v;
+}
+
+double AnalogTrace::max_value() const {
+  double v = 0.0;
+  bool first = true;
+  for (const auto& [t, x] : points_) {
+    (void)t;
+    if (first || x > v) v = x;
+    first = false;
+  }
+  return v;
+}
+
+double AnalogTrace::at(Time t) const {
+  if (points_.empty()) return 0.0;
+  if (t <= points_.front().first) return points_.front().second;
+  if (t >= points_.back().first) return points_.back().second;
+  // Binary search for the surrounding pair; points_ is appended in time
+  // order by construction.
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), t,
+      [](const auto& p, Time when) { return p.first < when; });
+  assert(it != points_.begin() && it != points_.end());
+  const auto& [t1, v1] = *it;
+  const auto& [t0, v0] = *(it - 1);
+  if (t1 == t0) return v1;
+  const double f = static_cast<double>(t - t0) / static_cast<double>(t1 - t0);
+  return v0 + f * (v1 - v0);
+}
+
+void AnalogTrace::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return;
+  out << "time_s," << name_ << '\n';
+  for (const auto& [t, v] : points_) {
+    out << to_seconds(t) << ',' << v << '\n';
+  }
+}
+
+}  // namespace emc::sim

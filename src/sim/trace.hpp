@@ -1,0 +1,90 @@
+// Waveform and analogue tracing.
+//
+// Two sinks:
+//  * VcdWriter — standard IEEE 1364 VCD for digital rails, so the
+//    handshake traces of Figs. 4/6/7 can be inspected in GTKWave.
+//  * AnalogTrace — (time, value) series for Vdd / charge / power curves,
+//    dumpable as CSV for the figure benches.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/signal.hpp"
+#include "sim/time.hpp"
+
+namespace emc::sim {
+
+class VcdWriter {
+ public:
+  /// Opens `path` and writes the VCD header on finalize(). Signals must
+  /// be added before the first value change is recorded.
+  explicit VcdWriter(std::string path);
+  ~VcdWriter();
+
+  VcdWriter(const VcdWriter&) = delete;
+  VcdWriter& operator=(const VcdWriter&) = delete;
+
+  /// Attach a boolean signal; it is sampled immediately and on change.
+  void add(Wire& wire);
+
+  /// Flush and close the file. Safe to call more than once.
+  void finalize();
+
+  std::uint64_t changes_recorded() const { return changes_; }
+
+ private:
+  struct Channel {
+    std::string id;     // VCD short identifier
+    std::string name;   // human name from the signal
+    bool last;
+  };
+
+  void record(std::size_t channel, bool value, Time t);
+  static std::string id_for(std::size_t index);
+
+  std::string path_;
+  std::ofstream out_;
+  std::vector<Channel> channels_;
+  std::vector<std::pair<Time, std::string>> body_;  // buffered changes
+  Time last_time_ = kTimeMax;
+  std::uint64_t changes_ = 0;
+  bool finalized_ = false;
+};
+
+/// Piecewise-sampled analogue quantity (voltage, power, charge, ...).
+class AnalogTrace {
+ public:
+  explicit AnalogTrace(std::string name) : name_(std::move(name)) {}
+
+  void sample(Time t, double value) { points_.emplace_back(t, value); }
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::pair<Time, double>>& points() const {
+    return points_;
+  }
+  bool empty() const { return points_.empty(); }
+  std::size_t size() const { return points_.size(); }
+
+  /// Last sampled value (0.0 when empty).
+  double last() const { return points_.empty() ? 0.0 : points_.back().second; }
+
+  /// Min / max over all samples (0.0 when empty).
+  double min_value() const;
+  double max_value() const;
+
+  /// Linear interpolation at time t (clamped to the sampled range).
+  double at(Time t) const;
+
+  /// Write "time_s,value" rows (with header) to `path`.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<Time, double>> points_;
+};
+
+}  // namespace emc::sim

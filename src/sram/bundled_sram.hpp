@@ -1,0 +1,101 @@
+// Conventionally-timed SRAM baselines (what the SI SRAM replaces).
+//
+// The paper (§III.A) lists the prior art for timing SRAM under a wide
+// Vdd range: (a) an inverter-chain replica sized at one voltage — which
+// Fig. 5 shows must fail elsewhere, because an SRAM read is worth ~50
+// inverters at 1 V but ~158 at 190 mV; (b) multiple delay lines selected
+// per Vdd band (needs voltage references); (c) a duplicated SRAM column
+// as the delay element — the "smart latency bundling" of [8], which
+// tracks perfectly but costs a column. All three are implemented here so
+// the benches can score them against genuine completion detection.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gates/gate.hpp"
+#include "sram/array.hpp"
+#include "sram/bitline.hpp"
+#include "sram/energy.hpp"
+#include "sram/si_controller.hpp"
+
+namespace emc::sram {
+
+enum class BundlingScheme {
+  kFixedReplica,   ///< inverter chain sized at calibration Vdd
+  kBandedReplica,  ///< two chains + a (reference-needing) band select
+  kColumnReplica,  ///< duplicated column with completion detection [8]
+};
+
+const char* to_string(BundlingScheme s);
+
+struct BundledSramParams {
+  ArrayGeometry geometry{64, 16};
+  CellParams cell{};
+  BitlineParams bitline{};
+  SramPhaseTimings timings{};
+  SramEnergyAnchors anchors{};
+  BundlingScheme scheme = BundlingScheme::kFixedReplica;
+  /// Replica sizing voltage and margin for kFixedReplica.
+  double calibration_vdd = 1.0;
+  double margin = 1.3;
+  /// Band boundary and low-band sizing voltage for kBandedReplica. The
+  /// split must sit above the high chain's failure onset (~0.61 V with
+  /// margin 1.3), else the high band dies before the selector switches.
+  double band_split_vdd = 0.65;
+  double low_band_calibration_vdd = 0.35;
+  /// Column replica margin for kColumnReplica (tracks, so small).
+  double column_margin = 1.1;
+};
+
+class BundledSram {
+ public:
+  BundledSram(gates::Context& ctx, std::string name, BundledSramParams params);
+
+  const BundledSramParams& params() const { return params_; }
+
+  /// Timed read: latency comes from the replica; the result is correct
+  /// only if the replica delay covered the true bit-line development.
+  void read(std::size_t addr, SiSram::ReadCallback cb);
+  void write(std::size_t addr, std::uint16_t value, SiSram::WriteCallback cb);
+
+  bool busy() const { return busy_; }
+
+  /// Replica delay at `vdd` [s] (what the controller waits).
+  double replica_delay_s(double vdd) const;
+  /// True bit-line development at `vdd` [s] (what it should have waited).
+  double true_read_delay_s(double vdd) const;
+  /// Largest Vdd below which reads mistime (replica < truth), by scan.
+  double failure_onset_vdd() const;
+
+  std::uint64_t reads_completed() const { return reads_done_; }
+  std::uint64_t mistimed_reads() const { return mistimed_; }
+  SramArray& array() { return *array_; }
+  const SramEnergyModel& energy_model() const { return *energy_; }
+
+ private:
+  void finish_read(std::size_t addr, bool mistimed, sim::Time started,
+                   SiSram::ReadCallback cb);
+
+  gates::Context* ctx_;
+  std::string name_;
+  BundledSramParams params_;
+  CellModel cell_;
+  BitlineDynamics bitline_;
+  std::unique_ptr<SramEnergyModel> energy_;
+  std::unique_ptr<SramArray> array_;
+  std::unique_ptr<SteppedAccess> access_;
+  double replica_stages_hi_ = 0.0;
+  double replica_stages_lo_ = 0.0;
+  bool busy_ = false;
+  std::uint64_t reads_done_ = 0;
+  std::uint64_t writes_done_ = 0;
+  std::uint64_t mistimed_ = 0;
+  gates::EnergyMeter::GateId meter_id_ = 0;
+  bool metered_ = false;
+};
+
+}  // namespace emc::sram

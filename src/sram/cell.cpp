@@ -1,0 +1,53 @@
+#include "sram/cell.hpp"
+
+#include <cmath>
+
+namespace emc::sram {
+
+double CellModel::read_current(double vdd, double vth_mismatch) const {
+  const auto& tech = model_->tech();
+  double i = model_->drive_current(
+      vdd, tech.vth_cell_extra + vth_mismatch);
+  if (params_.eight_t) {
+    // The decoupled read stack has one more series device; model as a
+    // modest drive reduction.
+    i *= 0.8;
+  }
+  return i;
+}
+
+double CellModel::bitline_leakage(double vdd) const {
+  const auto& tech = model_->tech();
+  const double n_vt = tech.subthreshold_n * tech.thermal_vt;
+  double leak = params_.bitline_leak_unit *
+                std::exp(tech.dibl * (vdd - tech.vdd_nominal) / n_vt);
+  if (params_.eight_t) leak *= params_.eight_t_leak_factor;
+  return leak;
+}
+
+bool CellModel::sensable(double vdd, std::size_t cells_per_section,
+                         double vth_mismatch) const {
+  const double i_cell = read_current(vdd, vth_mismatch);
+  const double i_leak =
+      bitline_leakage(vdd) * static_cast<double>(cells_per_section);
+  return i_cell >= params_.sense_margin * i_leak;
+}
+
+double CellModel::min_read_vdd(std::size_t cells_per_section) const {
+  const auto& tech = model_->tech();
+  double lo = 0.02;
+  double hi = tech.vmax;
+  if (!sensable(hi, cells_per_section)) return tech.vmax;
+  if (sensable(lo, cells_per_section)) return lo;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (sensable(mid, cells_per_section)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace emc::sram

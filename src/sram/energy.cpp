@@ -1,0 +1,102 @@
+#include "sram/energy.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace emc::sram {
+
+SramEnergyModel::SramEnergyModel(const BitlineDynamics& bitline,
+                                 SramPhaseTimings timings,
+                                 SramEnergyAnchors anchors)
+    : bitline_(&bitline), timings_(timings), anchors_(anchors) {
+  // Solve the 2x2 linear system
+  //   E_hi = E0*Vhi^2 + I_L1 * f(Vhi)
+  //   E_lo = E0*Vlo^2 + I_L1 * f(Vlo)
+  // with f(V) = V * dibl(V) * T_write(V).
+  const double vh = anchors_.vdd_hi;
+  const double vl = anchors_.vdd_lo;
+  const double fh = vh * dibl_factor(vh) * write_time_s(vh);
+  const double fl = vl * dibl_factor(vl) * write_time_s(vl);
+  const double det = vh * vh * fl - vl * vl * fh;
+  assert(std::fabs(det) > 1e-30 && "degenerate calibration anchors");
+  e_dyn0_ = (anchors_.write_j_hi * fl - anchors_.write_j_lo * fh) / det;
+  i_leak1_ =
+      (vh * vh * anchors_.write_j_lo - vl * vl * anchors_.write_j_hi) / det;
+}
+
+double SramEnergyModel::dibl_factor(double vdd) const {
+  const auto& tech = bitline_->cell().delay_model().tech();
+  const double n_vt = tech.subthreshold_n * tech.thermal_vt;
+  return std::exp(tech.dibl * (vdd - tech.vdd_nominal) / n_vt);
+}
+
+double SramEnergyModel::precharge_time_s(double vdd) const {
+  const auto& model = bitline_->cell().delay_model();
+  const double i = model.drive_current(vdd) * timings_.precharge_drive;
+  return bitline_->section_cap() * vdd / i;
+}
+
+double SramEnergyModel::read_time_s(double vdd) const {
+  const auto& model = bitline_->cell().delay_model();
+  const double d = model.inverter_delay_seconds(vdd);
+  return (timings_.decode_stages + timings_.control_read_stages) * d +
+         precharge_time_s(vdd) + bitline_->read_delay_seconds(vdd);
+}
+
+double SramEnergyModel::write_time_s(double vdd) const {
+  const auto& model = bitline_->cell().delay_model();
+  const double d = model.inverter_delay_seconds(vdd);
+  // Read-before-write: develop the old value, then drive the new one.
+  return (timings_.decode_stages + timings_.control_write_stages +
+          timings_.wl_pulse_stages) *
+             d +
+         precharge_time_s(vdd) + bitline_->read_delay_seconds(vdd) +
+         bitline_->write_delay_seconds(vdd);
+}
+
+double SramEnergyModel::leakage_current(double vdd) const {
+  return i_leak1_ * dibl_factor(vdd);
+}
+
+double SramEnergyModel::energy_per_write(double vdd) const {
+  return dynamic_write_j(vdd) + leakage_power(vdd) * write_time_s(vdd);
+}
+
+double SramEnergyModel::energy_per_read(double vdd) const {
+  return dynamic_read_j(vdd) + leakage_power(vdd) * read_time_s(vdd);
+}
+
+double SramEnergyModel::min_energy_vdd(double lo, double hi) const {
+  // Golden-section search; the curve is unimodal (falling V^2 term vs
+  // exponentially growing leakage*latency term).
+  constexpr double kPhi = 0.6180339887498949;
+  double a = lo;
+  double b = hi;
+  double x1 = b - kPhi * (b - a);
+  double x2 = a + kPhi * (b - a);
+  double f1 = energy_per_write(x1);
+  double f2 = energy_per_write(x2);
+  for (int i = 0; i < 80; ++i) {
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kPhi * (b - a);
+      f1 = energy_per_write(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kPhi * (b - a);
+      f2 = energy_per_write(x2);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+double SramEnergyModel::leak_width_units() const {
+  const auto& tech = bitline_->cell().delay_model().tech();
+  return i_leak1_ / tech.i_leak_unit;
+}
+
+}  // namespace emc::sram

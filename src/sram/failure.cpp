@@ -1,0 +1,81 @@
+#include "sram/failure.hpp"
+
+namespace emc::sram {
+
+FailureAnalysis::FailureAnalysis(CellParams cell_params,
+                                 BitlineParams bitline_params)
+    : cell_params_(cell_params), bitline_params_(bitline_params) {}
+
+CornerReport FailureAnalysis::report_for(const device::Tech& tech,
+                                         const std::string& name) const {
+  device::DelayModel model(tech);
+  CellModel cell(model, cell_params_);
+  BitlineDynamics bl(cell, bitline_params_);
+  CornerReport r;
+  r.corner = name;
+  r.min_read_vdd = cell.min_read_vdd(bitline_params_.cells_per_section);
+  // The write margin degrades with Vth at the slow corner.
+  r.min_write_vdd = cell_params_.write_min_vdd + tech.corner_vth_shift;
+  r.retention_vdd = cell_params_.retention_vdd;
+  r.read_delay_1v_s = bl.read_delay_seconds(1.0);
+  r.read_delay_019v_s = bl.read_delay_seconds(0.19);
+  r.mismatch_ratio_1v =
+      r.read_delay_1v_s / model.inverter_delay_seconds(1.0);
+  r.mismatch_ratio_019v =
+      r.read_delay_019v_s / model.inverter_delay_seconds(0.19);
+  return r;
+}
+
+std::vector<CornerReport> FailureAnalysis::corners() const {
+  return {report_for(device::Tech::umc90(), "typical"),
+          report_for(device::Tech::umc90_slow(), "slow"),
+          report_for(device::Tech::umc90_fast(), "fast")};
+}
+
+std::vector<SectioningPoint> FailureAnalysis::sectioning(
+    const std::vector<std::size_t>& sizes) const {
+  device::DelayModel model(device::Tech::umc90());
+  CellModel cell(model, cell_params_);
+  std::vector<SectioningPoint> out;
+  for (std::size_t s : sizes) {
+    BitlineParams bp = bitline_params_;
+    bp.cells_per_section = s;
+    BitlineDynamics bl(cell, bp);
+    SectioningPoint p;
+    p.cells_per_section = s;
+    p.min_read_vdd = cell.min_read_vdd(s);
+    p.read_delay_03v_s = bl.read_delay_seconds(0.30);
+    // Each section needs its own detector: overhead scales with the
+    // section count.
+    p.completion_overhead_factor =
+        static_cast<double>(bitline_params_.cells_on_line) /
+        static_cast<double>(s);
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<FailureAnalysis::CellCompare> FailureAnalysis::compare_cells(
+    const std::vector<double>& vdds) const {
+  device::DelayModel model(device::Tech::umc90());
+  CellParams p6 = cell_params_;
+  p6.eight_t = false;
+  CellParams p8 = cell_params_;
+  p8.eight_t = true;
+  CellModel c6(model, p6);
+  CellModel c8(model, p8);
+  const auto cells = static_cast<double>(bitline_params_.cells_on_line);
+  std::vector<CellCompare> out;
+  for (double v : vdds) {
+    CellCompare c;
+    c.vdd = v;
+    c.leak_6t_w = v * c6.bitline_leakage(v) * cells;
+    c.leak_8t_w = v * c8.bitline_leakage(v) * cells;
+    c.min_read_6t = c6.min_read_vdd(bitline_params_.cells_per_section);
+    c.min_read_8t = c8.min_read_vdd(bitline_params_.cells_per_section);
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace emc::sram

@@ -1,0 +1,70 @@
+// SRAM failure and corner analysis (the follow-up study of [8]).
+//
+// Sweeps Vdd across process corners and reports, per design point:
+//  * minimum sensable read voltage (leakage vs cell current),
+//  * minimum write voltage,
+//  * retention floor,
+//  * replica-mistiming onset for each bundling scheme,
+// and the effect of the paper's two proposed upgrades: completion
+// sectioning (8-bit segments) and 8T cells.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "device/delay_model.hpp"
+#include "sram/bundled_sram.hpp"
+#include "sram/cell.hpp"
+
+namespace emc::sram {
+
+struct CornerReport {
+  std::string corner;
+  double min_read_vdd = 0.0;
+  double min_write_vdd = 0.0;
+  double retention_vdd = 0.0;
+  double read_delay_1v_s = 0.0;
+  double read_delay_019v_s = 0.0;
+  double mismatch_ratio_1v = 0.0;    ///< SRAM delay / inverter delay at 1 V
+  double mismatch_ratio_019v = 0.0;  ///< and at 190 mV (Fig. 5 anchors)
+};
+
+struct SectioningPoint {
+  std::size_t cells_per_section = 0;
+  double min_read_vdd = 0.0;
+  double read_delay_03v_s = 0.0;
+  double completion_overhead_factor = 0.0;  ///< CD gates per column, rel. 1x
+};
+
+class FailureAnalysis {
+ public:
+  explicit FailureAnalysis(CellParams cell_params = {},
+                           BitlineParams bitline_params = {});
+
+  /// Typical / slow / fast corner reports.
+  std::vector<CornerReport> corners() const;
+
+  /// Completion-sectioning ablation over section sizes.
+  std::vector<SectioningPoint> sectioning(
+      const std::vector<std::size_t>& sizes) const;
+
+  /// 6T vs 8T leakage/limits comparison at the given voltages.
+  struct CellCompare {
+    double vdd;
+    double leak_6t_w;
+    double leak_8t_w;
+    double min_read_6t;
+    double min_read_8t;
+  };
+  std::vector<CellCompare> compare_cells(
+      const std::vector<double>& vdds) const;
+
+ private:
+  CornerReport report_for(const device::Tech& tech,
+                          const std::string& name) const;
+
+  CellParams cell_params_;
+  BitlineParams bitline_params_;
+};
+
+}  // namespace emc::sram

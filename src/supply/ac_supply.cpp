@@ -1,0 +1,4 @@
+#include "supply/ac_supply.hpp"
+
+// AcSupply is fully inline; this TU exists to keep one .cpp per header
+// (and to host future non-inline waveform variants).

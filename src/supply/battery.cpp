@@ -1,0 +1,37 @@
+#include "supply/battery.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace emc::supply {
+
+PiecewiseSupply::PiecewiseSupply(
+    sim::Kernel& kernel, std::string name,
+    std::vector<std::pair<sim::Time, double>> points, sim::Time retry_hint)
+    : Supply(kernel, std::move(name)),
+      points_(std::move(points)),
+      retry_hint_(retry_hint) {
+  assert(!points_.empty() && "profile needs at least one breakpoint");
+  assert(std::is_sorted(points_.begin(), points_.end(),
+                        [](const auto& a, const auto& b) {
+                          return a.first < b.first;
+                        }) &&
+         "breakpoints must be time-ordered");
+}
+
+double PiecewiseSupply::voltage() const {
+  const sim::Time t = kernel().now();
+  if (t <= points_.front().first) return points_.front().second;
+  if (t >= points_.back().first) return points_.back().second;
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), t,
+      [](const auto& p, sim::Time when) { return p.first < when; });
+  const auto& [t1, v1] = *it;
+  const auto& [t0, v0] = *(it - 1);
+  if (t1 == t0) return v1;
+  const double f =
+      static_cast<double>(t - t0) / static_cast<double>(t1 - t0);
+  return v0 + f * (v1 - v0);
+}
+
+}  // namespace emc::supply

@@ -1,0 +1,67 @@
+// Ideal battery and programmable-waveform supplies.
+//
+// Battery: the traditional design point the paper contrasts against —
+// stable, known voltage, effectively unlimited charge.
+//
+// WaveformSupply: voltage follows an arbitrary function of time; used for
+// the Fig. 7 experiment ("first write under low Vdd takes long, second
+// write at high Vdd is fast") and for ramp/step stress tests.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "supply/supply.hpp"
+
+namespace emc::supply {
+
+class Battery final : public Supply {
+ public:
+  Battery(sim::Kernel& kernel, std::string name, double volts)
+      : Supply(kernel, std::move(name)), volts_(volts) {}
+
+  double voltage() const override { return volts_; }
+
+  /// Model a (slow) externally-commanded level change, e.g. DVFS.
+  void set_voltage(double volts) { volts_ = volts; }
+
+ private:
+  double volts_;
+};
+
+class WaveformSupply final : public Supply {
+ public:
+  using Waveform = std::function<double(sim::Time)>;
+
+  WaveformSupply(sim::Kernel& kernel, std::string name, Waveform waveform,
+                 sim::Time retry_hint = sim::us(1))
+      : Supply(kernel, std::move(name)),
+        waveform_(std::move(waveform)),
+        retry_hint_(retry_hint) {}
+
+  double voltage() const override { return waveform_(kernel().now()); }
+
+  sim::Time retry_hint() const override { return retry_hint_; }
+
+ private:
+  Waveform waveform_;
+  sim::Time retry_hint_;
+};
+
+/// Piecewise-linear voltage profile: (time, volts) breakpoints.
+class PiecewiseSupply final : public Supply {
+ public:
+  PiecewiseSupply(sim::Kernel& kernel, std::string name,
+                  std::vector<std::pair<sim::Time, double>> points,
+                  sim::Time retry_hint = sim::us(1));
+
+  double voltage() const override;
+  sim::Time retry_hint() const override { return retry_hint_; }
+
+ private:
+  std::vector<std::pair<sim::Time, double>> points_;
+  sim::Time retry_hint_;
+};
+
+}  // namespace emc::supply

@@ -1,0 +1,54 @@
+#include "supply/dcdc.hpp"
+
+#include <algorithm>
+
+namespace emc::supply {
+
+DcdcConverter::DcdcConverter(sim::Kernel& kernel, std::string name,
+                             StorageCap& input, DcdcParams params)
+    : Supply(kernel, std::move(name)), input_(&input), params_(params) {}
+
+void DcdcConverter::start() {
+  if (running_) return;
+  running_ = true;
+  kernel().schedule(params_.housekeeping_tick, [this] { housekeeping(); });
+}
+
+double DcdcConverter::voltage() const {
+  if (!running_) return 0.0;
+  return input_->voltage() >= params_.vin_min ? params_.vout : 0.0;
+}
+
+double DcdcConverter::efficiency_at(double p_load) const {
+  if (p_load <= 0.0) return params_.efficiency_peak;
+  return params_.efficiency_peak * p_load / (p_load + params_.p_overhead);
+}
+
+void DcdcConverter::draw(double charge, double energy) {
+  Supply::draw(charge, energy);
+  // Update the smoothed load-power estimate from inter-draw spacing.
+  const sim::Time now = kernel().now();
+  if (now > last_draw_) {
+    const double p_inst = energy / sim::to_seconds(now - last_draw_);
+    p_load_est_ = 0.9 * p_load_est_ + 0.1 * p_inst;
+  }
+  last_draw_ = now;
+  const double eta = std::max(0.05, efficiency_at(p_load_est_));
+  const double drawn = energy / eta;
+  loss_j_ += drawn - energy;
+  // Bill the input store at its own voltage: Q_in = E_in / Vin.
+  const double vin = std::max(input_->voltage(), 1e-3);
+  input_->draw(drawn / vin, drawn);
+}
+
+void DcdcConverter::housekeeping() {
+  if (!running_) return;
+  const double joules =
+      params_.p_quiescent * sim::to_seconds(params_.housekeeping_tick);
+  const double vin = std::max(input_->voltage(), 1e-3);
+  input_->draw(joules / vin, joules);
+  quiescent_j_ += joules;
+  kernel().schedule(params_.housekeeping_tick, [this] { housekeeping(); });
+}
+
+}  // namespace emc::supply

@@ -1,0 +1,66 @@
+#include "supply/storage_cap.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace emc::supply {
+
+StorageCap::StorageCap(sim::Kernel& kernel, std::string name,
+                       double capacitance, double initial_volts)
+    : Supply(kernel, std::move(name)),
+      capacitance_(capacitance),
+      charge_(capacitance * initial_volts),
+      wake_threshold_(0.15),
+      trace_("v_" + this->name()) {
+  assert(capacitance_ > 0.0);
+}
+
+void StorageCap::draw(double charge, double energy) {
+  Supply::draw(charge, energy);
+  charge_ = std::max(0.0, charge_ - charge);
+  record();
+}
+
+double StorageCap::deposit_energy(double joules) {
+  if (joules > 0.0) {
+    // E = (Q'^2 - Q^2) / 2C  =>  Q' = sqrt(Q^2 + 2CE)
+    const double before = voltage();
+    const double e_before = stored_energy();
+    charge_ = std::sqrt(charge_ * charge_ + 2.0 * capacitance_ * joules);
+    clamp(e_before + joules);
+    record();
+    const double after = voltage();
+    if (before < wake_threshold_ && after >= wake_threshold_) fire_wake();
+    return after;
+  }
+  return voltage();
+}
+
+void StorageCap::deposit_charge(double coulombs) {
+  const double before = voltage();
+  const double e_before = stored_energy();
+  const double dq = coulombs;
+  charge_ = std::max(0.0, charge_ + dq);
+  // Energy notionally added at the mean voltage of the transfer.
+  clamp(e_before + std::max(0.0, dq) * 0.5 * (before + voltage()));
+  record();
+  const double after = voltage();
+  if (before < wake_threshold_ && after >= wake_threshold_) fire_wake();
+}
+
+void StorageCap::clamp(double energy_offered_j) {
+  if (max_voltage_ <= 0.0) return;
+  const double q_max = capacitance_ * max_voltage_;
+  if (charge_ > q_max) {
+    charge_ = q_max;
+    const double kept = stored_energy();
+    if (energy_offered_j > kept) clamped_j_ += energy_offered_j - kept;
+  }
+}
+
+void StorageCap::record() {
+  if (tracing_) trace_.sample(kernel().now(), voltage());
+}
+
+}  // namespace emc::supply

@@ -1,0 +1,11 @@
+#include "supply/supply.hpp"
+
+namespace emc::supply {
+
+void Supply::draw(double charge, double energy) {
+  total_charge_ += charge;
+  total_energy_ += energy;
+  ++draw_count_;
+}
+
+}  // namespace emc::supply

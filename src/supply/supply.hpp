@@ -1,0 +1,80 @@
+// Power-supply abstraction.
+//
+// The central idea of the paper is that the supply *modulates* the
+// computation, so the supply is a first-class simulation object: every
+// gate asks it for the instantaneous voltage (which sets the gate's
+// delay) and returns the charge/energy of each output transition (which,
+// for capacitor-backed supplies, lowers the voltage — closing the
+// energy-to-computation feedback loop of the charge-to-digital
+// converter).
+//
+// Stall protocol: when a gate finds the voltage below Tech::vmin_operate
+// it suspends and asks the supply how to resume. Time-driven supplies
+// (AC) give a finite retry_hint() and the gate polls; storage-backed
+// supplies fire wake callbacks when recharging crosses the resume
+// threshold; exhausted sample capacitors return kTimeMax and the circuit
+// simply freezes — exactly the paper's "operate while energy lasts".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "sim/time.hpp"
+
+namespace emc::supply {
+
+class Supply {
+ public:
+  explicit Supply(sim::Kernel& kernel, std::string name)
+      : kernel_(&kernel), name_(std::move(name)) {}
+  virtual ~Supply() = default;
+
+  Supply(const Supply&) = delete;
+  Supply& operator=(const Supply&) = delete;
+
+  const std::string& name() const { return name_; }
+  sim::Kernel& kernel() const { return *kernel_; }
+
+  /// Instantaneous supply voltage [V] at the kernel's current time.
+  virtual double voltage() const = 0;
+
+  /// The load draws `charge` [C] / `energy` [J] (one gate transition or a
+  /// batched macro-op). Default implementation only does bookkeeping;
+  /// capacitor-backed supplies also drop their voltage.
+  virtual void draw(double charge, double energy);
+
+  /// How long a stalled gate should wait before re-sampling the voltage.
+  /// kTimeMax means "don't poll, wait for wake()" (or never, if the
+  /// supply cannot recover).
+  virtual sim::Time retry_hint() const { return sim::kTimeMax; }
+
+  /// Register a callback fired when a non-time-driven supply becomes able
+  /// to power the load again (e.g. a storage capacitor recharged).
+  void on_wake(sim::Action fn) { wake_listeners_.push_back(std::move(fn)); }
+
+  /// Cumulative bookkeeping.
+  double total_charge_drawn() const { return total_charge_; }
+  double total_energy_drawn() const { return total_energy_; }
+  std::uint64_t draw_count() const { return draw_count_; }
+
+ protected:
+  void fire_wake() {
+    // Listeners may re-register or schedule work; iterate over a copy so
+    // the list can be appended to during the walk.
+    auto snapshot = wake_listeners_;
+    for (auto& fn : snapshot) fn();
+  }
+
+ private:
+  sim::Kernel* kernel_;
+  std::string name_;
+  std::vector<sim::Action> wake_listeners_;
+  double total_charge_ = 0.0;
+  double total_energy_ = 0.0;
+  std::uint64_t draw_count_ = 0;
+};
+
+}  // namespace emc::supply

@@ -1,0 +1,114 @@
+// Analysis-utility tests: accumulators, percentiles, fits, sweeps,
+// tables, CSV.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "analysis/csv.hpp"
+#include "analysis/stats.hpp"
+#include "analysis/sweep.hpp"
+#include "analysis/table.hpp"
+
+namespace emc::analysis {
+namespace {
+
+TEST(Accumulator, Moments) {
+  Accumulator a;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) a.add(x);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 4.0);
+  EXPECT_NEAR(a.stddev(), 1.1180, 1e-3);
+  Accumulator empty;
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.stddev(), 0.0);
+}
+
+TEST(Percentile, InterpolatesSorted) {
+  std::vector<double> v{5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(Correlation, PerfectAndNone) {
+  std::vector<double> x{1, 2, 3, 4};
+  std::vector<double> y{2, 4, 6, 8};
+  EXPECT_NEAR(correlation(x, y), 1.0, 1e-12);
+  std::vector<double> z{5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(correlation(x, z), 0.0);
+}
+
+TEST(LinearFit, RecoversLine) {
+  std::vector<double> x{0, 1, 2, 3};
+  std::vector<double> y{1, 3, 5, 7};
+  const LinearFit f = fit_linear(x, y);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.r_squared, 1.0, 1e-12);
+}
+
+TEST(Sweep, LinspaceEndsInclusive) {
+  const auto v = linspace(0.0, 1.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.0);
+  EXPECT_DOUBLE_EQ(v.back(), 1.0);
+  EXPECT_DOUBLE_EQ(v[2], 0.5);
+  EXPECT_TRUE(linspace(0, 1, 0).empty());
+  EXPECT_EQ(linspace(3, 9, 1).size(), 1u);
+}
+
+TEST(Sweep, LogspaceGeometric) {
+  const auto v = logspace(1.0, 100.0, 3);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_NEAR(v[1], 10.0, 1e-9);
+}
+
+TEST(Sweep, VddGridContainsAnchors) {
+  const auto g = vdd_grid();
+  auto has = [&](double x) {
+    for (double v : g) {
+      if (std::fabs(v - x) < 1e-9) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has(0.19));
+  EXPECT_TRUE(has(0.4));
+  EXPECT_TRUE(has(1.0));
+  EXPECT_TRUE(std::is_sorted(g.begin(), g.end()));
+}
+
+TEST(Table, AlignsAndCsv) {
+  Table t({"vdd", "value"});
+  t.add_row({"1.0", "5.8"});
+  t.add_row({"0.4", "1.9"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| vdd"), std::string::npos);
+  EXPECT_NE(s.find("| 0.4"), std::string::npos);
+  EXPECT_EQ(t.to_csv(), "vdd,value\n1.0,5.8\n0.4,1.9\n");
+  EXPECT_EQ(Table::num(5.8), "5.8");
+}
+
+TEST(Csv, WritesFile) {
+  CsvWriter w({"a", "b"});
+  w.add_row({1.0, 2.0});
+  w.add_row({3.0, 4.0});
+  const std::string path = ::testing::TempDir() + "/emc_analysis.csv";
+  ASSERT_TRUE(w.write(path));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace emc::analysis

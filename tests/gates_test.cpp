@@ -1,0 +1,390 @@
+// Gate-library tests: truth tables (parameterized), C-element, toggle,
+// mutex, delay line, completion detector, energy metering, stall/resume.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "device/delay_model.hpp"
+#include "gates/celement.hpp"
+#include "gates/combinational.hpp"
+#include "gates/completion.hpp"
+#include "gates/delay_line.hpp"
+#include "gates/energy_meter.hpp"
+#include "gates/mutex.hpp"
+#include "gates/toggle.hpp"
+#include "supply/battery.hpp"
+#include "supply/storage_cap.hpp"
+
+namespace emc::gates {
+namespace {
+
+struct Fixture {
+  sim::Kernel kernel;
+  device::DelayModel model{device::Tech::umc90()};
+  supply::Battery supply;
+  EnergyMeter meter;
+  Context ctx;
+
+  explicit Fixture(double vdd = 1.0)
+      : supply(kernel, "vdd", vdd),
+        meter(kernel, device::Tech::umc90(), &supply),
+        ctx{kernel, model, supply, &meter} {}
+};
+
+// ---- truth tables (parameterized over op and input vector) --------------
+
+using TruthCase = std::tuple<Op, std::vector<bool>, bool>;
+
+class CombTruth : public ::testing::TestWithParam<TruthCase> {};
+
+TEST_P(CombTruth, ComputesExpected) {
+  const auto& [op, ins, expect] = GetParam();
+  Fixture f;
+  std::vector<std::unique_ptr<sim::Wire>> wires;
+  std::vector<sim::Wire*> inputs;
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    wires.push_back(
+        std::make_unique<sim::Wire>(f.kernel, "i" + std::to_string(i), false));
+    inputs.push_back(wires.back().get());
+  }
+  sim::Wire out(f.kernel, "out", false);
+  CombGate g(f.ctx, "dut", op, inputs, out);
+  for (std::size_t i = 0; i < ins.size(); ++i) inputs[i]->set(ins[i]);
+  g.touch();
+  f.kernel.run();
+  EXPECT_EQ(out.read(), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, CombTruth,
+    ::testing::Values(
+        TruthCase{Op::kInv, {false}, true}, TruthCase{Op::kInv, {true}, false},
+        TruthCase{Op::kBuf, {true}, true}, TruthCase{Op::kBuf, {false}, false},
+        TruthCase{Op::kAnd, {true, true}, true},
+        TruthCase{Op::kAnd, {true, false}, false},
+        TruthCase{Op::kNand, {true, true}, false},
+        TruthCase{Op::kNand, {false, true}, true},
+        TruthCase{Op::kOr, {false, false}, false},
+        TruthCase{Op::kOr, {false, true}, true},
+        TruthCase{Op::kNor, {false, false}, true},
+        TruthCase{Op::kNor, {true, false}, false},
+        TruthCase{Op::kXor, {true, false}, true},
+        TruthCase{Op::kXor, {true, true}, false},
+        TruthCase{Op::kXnor, {true, true}, true},
+        TruthCase{Op::kXnor, {true, false}, false},
+        TruthCase{Op::kXor, {true, true, true}, true},
+        TruthCase{Op::kNand, {true, true, true}, false},
+        TruthCase{Op::kMaj3, {true, true, false}, true},
+        TruthCase{Op::kMaj3, {true, false, false}, false}));
+
+// ---- inertial behaviour ---------------------------------------------------
+
+TEST(CombGate, SwallowsSubDelayPulse) {
+  Fixture f;
+  sim::Wire in(f.kernel, "in", false);
+  sim::Wire out(f.kernel, "out", true);
+  CombGate inv(f.ctx, "inv", Op::kInv, {&in}, out);
+  // Pulse much shorter than the gate delay (~40 ps at 1 V).
+  f.kernel.schedule(sim::ps(100), [&] { in.set(true); });
+  f.kernel.schedule(sim::ps(105), [&] { in.set(false); });
+  f.kernel.run();
+  EXPECT_TRUE(out.read());
+  EXPECT_EQ(out.transitions(), 0u);  // pulse fully filtered
+}
+
+TEST(CombGate, PropagationDelayMatchesModel) {
+  Fixture f;
+  sim::Wire in(f.kernel, "in", false);
+  sim::Wire out(f.kernel, "out", true);
+  CombGate inv(f.ctx, "inv", Op::kInv, {&in}, out);
+  in.set(true);
+  f.kernel.run();
+  const auto expected = f.model.delay(
+      1.0, factors_for(Op::kInv, 1).cap * f.model.tech().c_inv *
+               factors_for(Op::kInv, 1).delay);
+  EXPECT_EQ(out.last_change(), expected);
+}
+
+TEST(CombGate, SelfLoopOscillates) {
+  Fixture f;
+  sim::Wire osc(f.kernel, "osc", false);
+  CombGate inv(f.ctx, "inv", Op::kInv, {&osc}, osc);
+  inv.touch();
+  f.kernel.run_until(sim::ns(10));
+  // ~40 ps per half period at 1 V -> ~250 transitions in 10 ns.
+  EXPECT_GT(osc.transitions(), 100u);
+  EXPECT_GT(f.supply.total_energy_drawn(), 0.0);
+}
+
+// ---- stall and resume ------------------------------------------------------
+
+TEST(Gate, StallsBelowVminAndResumesOnWake) {
+  sim::Kernel kernel;
+  device::DelayModel model{device::Tech::umc90()};
+  supply::StorageCap cap(kernel, "cap", 1e-12, 0.05);  // starts dead
+  EnergyMeter meter(kernel, device::Tech::umc90(), &cap);
+  Context ctx{kernel, model, cap, &meter};
+  sim::Wire in(kernel, "in", false);
+  sim::Wire out(kernel, "out", true);
+  CombGate inv(ctx, "inv", Op::kInv, {&in}, out);
+  in.set(true);
+  kernel.run_until(sim::us(1));
+  EXPECT_TRUE(out.read());  // nothing happened: stalled
+  EXPECT_TRUE(inv.stalled());
+  // Recharge above the wake threshold: the gate must finish the job.
+  cap.set_wake_threshold(0.16);
+  cap.deposit_charge(1.0 * 1e-12);  // -> ~1 V
+  kernel.run_until(sim::us(2));
+  EXPECT_FALSE(out.read());
+  EXPECT_FALSE(inv.stalled());
+}
+
+// ---- C-element --------------------------------------------------------------
+
+TEST(CElement, RisesOnAllOnesFallsOnAllZeros) {
+  Fixture f;
+  sim::Wire a(f.kernel, "a", false), b(f.kernel, "b", false);
+  sim::Wire c(f.kernel, "c", false);
+  CElement ce(f.ctx, "ce", {&a, &b}, c);
+  a.set(true);
+  f.kernel.run();
+  EXPECT_FALSE(c.read());  // holds at 0 (only one input high)
+  b.set(true);
+  f.kernel.run();
+  EXPECT_TRUE(c.read());
+  a.set(false);
+  f.kernel.run();
+  EXPECT_TRUE(c.read());  // holds at 1
+  b.set(false);
+  f.kernel.run();
+  EXPECT_FALSE(c.read());
+}
+
+TEST(CElement, AsymmetricPlusMinus) {
+  Fixture f;
+  sim::Wire both(f.kernel, "both", false), plus(f.kernel, "plus", false),
+      minus(f.kernel, "minus", true), out(f.kernel, "out", false);
+  CElement ce(f.ctx, "ce", {&both}, {&plus}, {&minus}, out);
+  both.set(true);
+  f.kernel.run();
+  EXPECT_FALSE(out.read());  // plus not yet high
+  plus.set(true);
+  f.kernel.run();
+  EXPECT_TRUE(out.read());
+  // Falling needs both=0 and minus=0; plus is irrelevant now.
+  both.set(false);
+  f.kernel.run();
+  EXPECT_TRUE(out.read());
+  minus.set(false);
+  f.kernel.run();
+  EXPECT_FALSE(out.read());
+}
+
+// ---- toggle -----------------------------------------------------------------
+
+TEST(Toggle, AlternatesDotAndBlank) {
+  Fixture f;
+  sim::Wire in(f.kernel, "in", false);
+  sim::Wire dot(f.kernel, "dot", false), blank(f.kernel, "blank", false);
+  Toggle t(f.ctx, "t", in, dot, blank);
+  for (int i = 1; i <= 4; ++i) {
+    in.set((i % 2) == 1);
+    f.kernel.run();
+  }
+  // 4 input events: dot moved on 1st & 3rd, blank on 2nd & 4th.
+  EXPECT_EQ(dot.transitions(), 2u);
+  EXPECT_EQ(blank.transitions(), 2u);
+  EXPECT_EQ(t.fires(), 4u);
+}
+
+TEST(Toggle, QueuesBurstsWithoutLoss) {
+  Fixture f;
+  sim::Wire in(f.kernel, "in", false);
+  sim::Wire dot(f.kernel, "dot", false), blank(f.kernel, "blank", false);
+  Toggle t(f.ctx, "t", in, dot, blank);
+  // Fire input edges much faster than the toggle's internal delay.
+  for (int i = 1; i <= 10; ++i) {
+    f.kernel.schedule(sim::ps(i), [&in, i] { in.set((i % 2) == 1); });
+  }
+  f.kernel.run();
+  EXPECT_EQ(t.fires(), 10u);
+  EXPECT_EQ(dot.transitions() + blank.transitions(), 10u);
+}
+
+// ---- mutex -------------------------------------------------------------------
+
+TEST(Mutex, GrantsSingleRequester) {
+  Fixture f;
+  sim::Rng rng(3);
+  sim::Wire r1(f.kernel, "r1", false), r2(f.kernel, "r2", false);
+  sim::Wire g1(f.kernel, "g1", false), g2(f.kernel, "g2", false);
+  Mutex mx(f.ctx, "mx", r1, r2, g1, g2, &rng);
+  r1.set(true);
+  f.kernel.run();
+  EXPECT_TRUE(g1.read());
+  EXPECT_FALSE(g2.read());
+  r1.set(false);
+  f.kernel.run();
+  EXPECT_FALSE(g1.read());
+}
+
+TEST(Mutex, MutualExclusionUnderContention) {
+  Fixture f;
+  sim::Rng rng(7);
+  sim::Wire r1(f.kernel, "r1", false), r2(f.kernel, "r2", false);
+  sim::Wire g1(f.kernel, "g1", false), g2(f.kernel, "g2", false);
+  Mutex mx(f.ctx, "mx", r1, r2, g1, g2, &rng);
+  bool both_granted = false;
+  auto check = [&](const sim::Wire&) {
+    if (g1.read() && g2.read()) both_granted = true;
+  };
+  g1.on_change(check);
+  g2.on_change(check);
+  // Hammer with overlapping requests.
+  for (int i = 0; i < 50; ++i) {
+    const sim::Time base = sim::ns(10) * (i + 1);
+    f.kernel.schedule_at(base, [&] { r1.set(true); });
+    f.kernel.schedule_at(base + sim::ps(i % 7), [&] { r2.set(true); });
+    f.kernel.schedule_at(base + sim::ns(4), [&] { r1.set(false); });
+    f.kernel.schedule_at(base + sim::ns(5), [&] { r2.set(false); });
+  }
+  f.kernel.run();
+  EXPECT_FALSE(both_granted);
+  EXPECT_GT(mx.grants(), 50u);  // both sides eventually served
+  EXPECT_GT(mx.metastable_events(), 0u);
+}
+
+TEST(SynchronizerModel, MtbfGrowsWithWindowAndShrinksAtLowVdd) {
+  device::DelayModel model{device::Tech::umc90()};
+  SynchronizerModel sync{&model};
+  const double m1 = sync.mtbf_seconds(1.0, 1e8, 1e6, 2e-9);
+  const double m2 = sync.mtbf_seconds(1.0, 1e8, 1e6, 4e-9);
+  EXPECT_GT(m2, m1 * 1e6);  // exponential in the window
+  // Same absolute window is worth far less at 0.3 V (tau grew).
+  const double m3 = sync.mtbf_seconds(0.3, 1e8, 1e6, 2e-9);
+  EXPECT_LT(m3, m1 / 1e3);
+  // Inverse relation round-trips.
+  const double w = sync.required_window_s(0.5, 1e8, 1e6, 3.15e7);
+  EXPECT_NEAR(sync.mtbf_seconds(0.5, 1e8, 1e6, w), 3.15e7, 3.15e7 * 0.01);
+}
+
+// ---- delay line ---------------------------------------------------------------
+
+TEST(DelayLine, WavefrontPropagatesInOrder) {
+  Fixture f;
+  sim::Wire in(f.kernel, "in", false);
+  DelayLine line(f.ctx, "dl", in, 16);
+  EXPECT_EQ(line.thermometer_code(), 0u);
+  in.set(true);
+  f.kernel.run();
+  EXPECT_EQ(line.thermometer_code(), 16u);
+  EXPECT_EQ(line.flipped_taps(), 16u);
+}
+
+TEST(DelayLine, PartialWavefrontGivesPartialCode) {
+  Fixture f;
+  sim::Wire in(f.kernel, "in", false);
+  DelayLine line(f.ctx, "dl", in, 32);
+  in.set(true);
+  // One inverter ~ 40 ps at 1 V; stop mid-flight.
+  f.kernel.run_until(sim::ps(40 * 10));
+  const std::size_t code = line.thermometer_code();
+  EXPECT_GT(code, 4u);
+  EXPECT_LT(code, 16u);
+}
+
+// ---- completion detector --------------------------------------------------------
+
+TEST(CompletionDetector, FiresOnAllValidFallsOnAllNull) {
+  Fixture f;
+  std::vector<std::unique_ptr<sim::Wire>> rails;
+  std::vector<DualRailWire> bits;
+  for (int i = 0; i < 4; ++i) {
+    rails.push_back(std::make_unique<sim::Wire>(f.kernel,
+                                                "t" + std::to_string(i), false));
+    rails.push_back(std::make_unique<sim::Wire>(f.kernel,
+                                                "f" + std::to_string(i), false));
+    bits.push_back(DualRailWire{rails[2 * i].get(), rails[2 * i + 1].get()});
+  }
+  CompletionDetector cd(f.ctx, "cd", bits);
+  // Drive 3 of 4 bits valid: no done.
+  bits[0].t->set(true);
+  bits[1].f->set(true);
+  bits[2].t->set(true);
+  f.kernel.run();
+  EXPECT_FALSE(cd.done().read());
+  bits[3].f->set(true);
+  f.kernel.run();
+  EXPECT_TRUE(cd.done().read());
+  // Partially to NULL: done holds (C-element memory).
+  bits[0].t->set(false);
+  bits[1].f->set(false);
+  f.kernel.run();
+  EXPECT_TRUE(cd.done().read());
+  bits[2].t->set(false);
+  bits[3].f->set(false);
+  f.kernel.run();
+  EXPECT_FALSE(cd.done().read());
+}
+
+TEST(CompletionDetector, WideTreeRespectsFanin) {
+  Fixture f;
+  std::vector<std::unique_ptr<sim::Wire>> rails;
+  std::vector<DualRailWire> bits;
+  for (int i = 0; i < 16; ++i) {
+    rails.push_back(std::make_unique<sim::Wire>(f.kernel,
+                                                "t" + std::to_string(i), false));
+    rails.push_back(std::make_unique<sim::Wire>(f.kernel,
+                                                "f" + std::to_string(i), false));
+    bits.push_back(DualRailWire{rails[2 * i].get(), rails[2 * i + 1].get()});
+  }
+  CompletionDetector cd(f.ctx, "cd", bits, /*max_fanin=*/2);
+  EXPECT_EQ(cd.bit_count(), 16u);
+  EXPECT_EQ(cd.tree_depth(), 4u);  // 16 -> 8 -> 4 -> 2 -> 1
+  for (auto& b : bits) b.t->set(true);
+  f.kernel.run();
+  EXPECT_TRUE(cd.done().read());
+}
+
+// ---- energy meter -----------------------------------------------------------------
+
+TEST(EnergyMeter, AccountsTransitionsAndRollsUp) {
+  Fixture f;
+  sim::Wire a(f.kernel, "a", false), x(f.kernel, "x", true),
+      y(f.kernel, "y", true);
+  CombGate g1(f.ctx, "top.sub1.inv", Op::kInv, {&a}, x);
+  CombGate g2(f.ctx, "top.sub2.inv", Op::kInv, {&a}, y);
+  a.set(true);
+  f.kernel.run();
+  EXPECT_EQ(f.meter.total_transitions(), 2u);
+  EXPECT_GT(f.meter.dynamic_energy(), 0.0);
+  const auto by_mod = f.meter.energy_by_prefix(2);
+  EXPECT_EQ(by_mod.size(), 2u);
+  EXPECT_TRUE(by_mod.count("top.sub1"));
+  // Leakage integrates over time.
+  f.kernel.schedule(sim::us(1), [] {});
+  f.kernel.run();
+  f.meter.integrate_leakage();
+  EXPECT_GT(f.meter.leakage_energy(), 0.0);
+  f.meter.reset();
+  EXPECT_EQ(f.meter.total_transitions(), 0u);
+  EXPECT_EQ(f.meter.total_energy(), 0.0);
+}
+
+TEST(EnergyMeter, EnergyScalesWithVddSquared) {
+  auto run_at = [](double vdd) {
+    Fixture f(vdd);
+    sim::Wire in(f.kernel, "in", false);
+    sim::Wire out(f.kernel, "out", true);
+    CombGate g(f.ctx, "inv", Op::kInv, {&in}, out);
+    in.set(true);
+    f.kernel.run();
+    return f.meter.dynamic_energy();
+  };
+  EXPECT_NEAR(run_at(1.0) / run_at(0.5), 4.0, 0.01);
+}
+
+}  // namespace
+}  // namespace emc::gates

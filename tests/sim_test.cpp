@@ -1,0 +1,248 @@
+// Kernel, event queue, signal and trace unit tests.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/kernel.hpp"
+#include "sim/random.hpp"
+#include "sim/signal.hpp"
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+
+namespace emc::sim {
+namespace {
+
+TEST(Time, Conversions) {
+  EXPECT_EQ(ps(1), 1000u);
+  EXPECT_EQ(ns(1), 1000u * 1000u);
+  EXPECT_EQ(us(1), kMicrosecond);
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_EQ(from_seconds(1e-12), kPicosecond);
+  EXPECT_EQ(from_seconds(0.0), 0u);
+  EXPECT_EQ(from_seconds(-1.0), 0u);
+  EXPECT_EQ(from_seconds(1e30), kTimeMax);
+}
+
+TEST(Time, Format) {
+  EXPECT_EQ(format_time(ps(1500)), "1.500 ns");
+  EXPECT_EQ(format_time(0), "0 fs");
+  EXPECT_EQ(format_time(fs(999)), "999.000 fs");
+}
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoAmongEqualTimestamps) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 20; ++i) {
+    q.schedule(42, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(10, [&] { ++fired; });
+  const EventId victim = q.schedule(20, [&] { fired += 100; });
+  q.schedule(30, [&] { ++fired; });
+  q.cancel(victim);
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, CancelUnknownIsNoop) {
+  EventQueue q;
+  q.schedule(10, [] {});
+  q.cancel(999);
+  q.cancel(999);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, NextTimeSkipsCancelledTop) {
+  EventQueue q;
+  const EventId a = q.schedule(10, [] {});
+  q.schedule(20, [] {});
+  q.cancel(a);
+  EXPECT_EQ(q.next_time(), 20u);
+}
+
+TEST(Kernel, AdvancesTimeMonotonically) {
+  Kernel k;
+  Time seen = 0;
+  k.schedule(100, [&] { seen = k.now(); });
+  k.schedule(50, [&] { EXPECT_EQ(k.now(), 50u); });
+  k.run();
+  EXPECT_EQ(seen, 100u);
+  EXPECT_EQ(k.events_executed(), 2u);
+}
+
+TEST(Kernel, RunUntilRespectsDeadlineInclusive) {
+  Kernel k;
+  int fired = 0;
+  k.schedule(100, [&] { ++fired; });
+  k.schedule(200, [&] { ++fired; });
+  k.schedule(201, [&] { ++fired; });
+  k.run_until(200);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(k.now(), 200u);
+  k.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Kernel, ZeroDelayRunsAfterCurrentCallback) {
+  Kernel k;
+  std::vector<int> order;
+  k.schedule(10, [&] {
+    order.push_back(1);
+    k.schedule(0, [&] { order.push_back(2); });
+    order.push_back(3);
+  });
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(Kernel, SchedulePastClampsToNow) {
+  Kernel k;
+  k.schedule(100, [&] {
+    k.schedule_at(10, [&] { EXPECT_EQ(k.now(), 100u); });
+  });
+  k.run();
+}
+
+TEST(Kernel, EventCapStopsRunaway) {
+  Kernel k;
+  k.set_event_cap(1000);
+  std::function<void()> loop = [&] { k.schedule(1, loop); };
+  k.schedule(1, loop);
+  k.run();
+  EXPECT_TRUE(k.event_cap_hit());
+  EXPECT_LE(k.events_executed(), 1001u);
+}
+
+TEST(Kernel, ResetClearsEverything) {
+  Kernel k;
+  k.schedule(10, [] {});
+  k.run();
+  k.reset();
+  EXPECT_EQ(k.now(), 0u);
+  EXPECT_TRUE(k.idle());
+  EXPECT_EQ(k.events_executed(), 0u);
+}
+
+TEST(Signal, NotifiesOnChangeOnly) {
+  Kernel k;
+  Wire w(k, "w", false);
+  int notified = 0;
+  w.on_change([&](const Wire&) { ++notified; });
+  w.set(false);  // no change
+  EXPECT_EQ(notified, 0);
+  w.set(true);
+  EXPECT_EQ(notified, 1);
+  w.set(true);  // no change
+  EXPECT_EQ(notified, 1);
+  EXPECT_EQ(w.transitions(), 1u);
+}
+
+TEST(Signal, ScheduledWriteAppliesLater) {
+  Kernel k;
+  Wire w(k, "w", false);
+  w.schedule(true, 100);
+  EXPECT_FALSE(w.read());
+  EXPECT_TRUE(w.has_pending());
+  k.run();
+  EXPECT_TRUE(w.read());
+  EXPECT_EQ(w.last_change(), 100u);
+}
+
+TEST(Signal, InertialRetraction) {
+  Kernel k;
+  Wire w(k, "w", false);
+  w.schedule(true, 100);
+  w.schedule(false, 50);  // retracts the earlier pending write
+  k.run();
+  EXPECT_FALSE(w.read());
+  EXPECT_EQ(w.transitions(), 0u);  // never actually moved
+}
+
+TEST(Signal, SetRetractsPending) {
+  Kernel k;
+  Wire w(k, "w", false);
+  w.schedule(true, 100);
+  w.set(false);  // asserts current value; pending must die
+  k.run();
+  EXPECT_FALSE(w.read());
+}
+
+TEST(Signal, TypedSignalWorks) {
+  Kernel k;
+  Signal<int> s(k, "count", 7);
+  EXPECT_EQ(s.read(), 7);
+  s.schedule(9, 10);
+  k.run();
+  EXPECT_EQ(s.read(), 9);
+}
+
+TEST(AnalogTrace, InterpolatesBetweenSamples) {
+  AnalogTrace t("v");
+  t.sample(0, 0.0);
+  t.sample(100, 1.0);
+  EXPECT_DOUBLE_EQ(t.at(50), 0.5);
+  EXPECT_DOUBLE_EQ(t.at(0), 0.0);
+  EXPECT_DOUBLE_EQ(t.at(200), 1.0);  // clamped
+  EXPECT_DOUBLE_EQ(t.min_value(), 0.0);
+  EXPECT_DOUBLE_EQ(t.max_value(), 1.0);
+}
+
+TEST(VcdWriter, RecordsChanges) {
+  Kernel k;
+  Wire a(k, "a", false);
+  const std::string path = ::testing::TempDir() + "/emc_test.vcd";
+  {
+    VcdWriter vcd(path);
+    vcd.add(a);
+    k.schedule(10, [&] { a.set(true); });
+    k.schedule(20, [&] { a.set(false); });
+    k.run();
+    EXPECT_EQ(vcd.changes_recorded(), 2u);
+    vcd.finalize();
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("$var wire 1"), std::string::npos);
+  EXPECT_NE(contents.find("#10"), std::string::npos);
+}
+
+TEST(Rng, Reproducible) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, ExponentialMeanRoughlyCorrect) {
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential_mean(2.0);
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+}  // namespace
+}  // namespace emc::sim

@@ -1,0 +1,213 @@
+// Supply model tests: battery/waveform, AC, storage caps, harvester,
+// DC-DC, MPPT.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "supply/ac_supply.hpp"
+#include "supply/battery.hpp"
+#include "supply/dcdc.hpp"
+#include "supply/harvester.hpp"
+#include "supply/mppt.hpp"
+#include "supply/storage_cap.hpp"
+
+namespace emc::supply {
+namespace {
+
+TEST(Battery, HoldsVoltage) {
+  sim::Kernel k;
+  Battery b(k, "bat", 1.0);
+  EXPECT_DOUBLE_EQ(b.voltage(), 1.0);
+  b.draw(1e-9, 1e-9);
+  EXPECT_DOUBLE_EQ(b.voltage(), 1.0);
+  EXPECT_DOUBLE_EQ(b.total_energy_drawn(), 1e-9);
+  EXPECT_EQ(b.draw_count(), 1u);
+  b.set_voltage(0.5);
+  EXPECT_DOUBLE_EQ(b.voltage(), 0.5);
+}
+
+TEST(WaveformSupply, FollowsFunction) {
+  sim::Kernel k;
+  WaveformSupply w(k, "ramp", [](sim::Time t) {
+    return 0.2 + 0.8 * sim::to_seconds(t) / 1e-6;
+  });
+  EXPECT_DOUBLE_EQ(w.voltage(), 0.2);
+  k.schedule(sim::us(1), [] {});
+  k.run();
+  EXPECT_NEAR(w.voltage(), 1.0, 1e-9);
+}
+
+TEST(PiecewiseSupply, InterpolatesBreakpoints) {
+  sim::Kernel k;
+  PiecewiseSupply p(k, "pw",
+                    {{0, 0.2}, {sim::us(1), 1.0}, {sim::us(2), 0.4}});
+  EXPECT_DOUBLE_EQ(p.voltage(), 0.2);
+  k.schedule(sim::ns(500), [&] { EXPECT_NEAR(p.voltage(), 0.6, 1e-9); });
+  k.schedule(sim::us(2), [&] { EXPECT_NEAR(p.voltage(), 0.4, 1e-9); });
+  k.schedule(sim::us(5), [&] { EXPECT_NEAR(p.voltage(), 0.4, 1e-9); });
+  k.run();
+}
+
+TEST(AcSupply, PaperWaveform200mVpm100mV) {
+  sim::Kernel k;
+  AcSupply ac(k, "ac", 0.2, 0.1, 1e6);  // Fig. 4 supply
+  EXPECT_DOUBLE_EQ(ac.voltage_at(0), 0.2);
+  // Peak at quarter period.
+  EXPECT_NEAR(ac.voltage_at(sim::ns(250)), 0.3, 1e-3);
+  // Trough at three-quarter period.
+  EXPECT_NEAR(ac.voltage_at(sim::ns(750)), 0.1, 1e-3);
+  EXPECT_EQ(ac.period(), sim::us(1));
+  EXPECT_EQ(ac.retry_hint(), sim::us(1) / 64);
+}
+
+TEST(AcSupply, RectifiedNeverNegative) {
+  sim::Kernel k;
+  AcSupply ac(k, "ac", 0.0, 0.3, 1e6, /*rectified=*/true);
+  for (sim::Time t = 0; t < sim::us(2); t += sim::ns(37)) {
+    EXPECT_GE(ac.voltage_at(t), 0.0);
+  }
+}
+
+TEST(StorageCap, VoltageIsQOverC) {
+  sim::Kernel k;
+  StorageCap cap(k, "store", 1e-9, 1.0);
+  EXPECT_DOUBLE_EQ(cap.voltage(), 1.0);
+  EXPECT_DOUBLE_EQ(cap.charge(), 1e-9);
+  EXPECT_DOUBLE_EQ(cap.stored_energy(), 0.5e-9);
+  cap.draw(0.5e-9, 0.5e-9);
+  EXPECT_DOUBLE_EQ(cap.voltage(), 0.5);
+}
+
+TEST(StorageCap, DepositEnergyExactQuadrature) {
+  sim::Kernel k;
+  StorageCap cap(k, "store", 1e-9, 0.0);
+  // E = C V^2 / 2 => depositing 0.5 nJ into 1 nF gives 1 V.
+  cap.deposit_energy(0.5e-9);
+  EXPECT_NEAR(cap.voltage(), 1.0, 1e-12);
+}
+
+TEST(StorageCap, WakeFiresOnRisingThresholdCrossing) {
+  sim::Kernel k;
+  StorageCap cap(k, "store", 1e-9, 0.0);
+  cap.set_wake_threshold(0.15);
+  int woken = 0;
+  cap.on_wake([&] { ++woken; });
+  cap.deposit_charge(0.10e-9);  // 0.1 V: below
+  EXPECT_EQ(woken, 0);
+  cap.deposit_charge(0.10e-9);  // 0.2 V: crossing
+  EXPECT_EQ(woken, 1);
+  cap.deposit_charge(0.10e-9);  // already above: no re-fire
+  EXPECT_EQ(woken, 1);
+  cap.draw(0.25e-9, 0.0);  // drops to 0.05 V
+  cap.deposit_charge(0.20e-9);
+  EXPECT_EQ(woken, 2);
+}
+
+TEST(StorageCap, NeverNegativeCharge) {
+  sim::Kernel k;
+  StorageCap cap(k, "store", 1e-9, 0.1);
+  cap.draw(1.0, 1.0);  // absurd overdraw
+  EXPECT_DOUBLE_EQ(cap.charge(), 0.0);
+  EXPECT_DOUBLE_EQ(cap.voltage(), 0.0);
+}
+
+TEST(SampleCap, SampleSetsVoltageBothDirections) {
+  sim::Kernel k;
+  SampleCap cap(k, "cs", 100e-12, 0.8);
+  cap.sample(0.3);
+  EXPECT_NEAR(cap.voltage(), 0.3, 1e-12);
+  cap.sample(0.9);
+  EXPECT_NEAR(cap.voltage(), 0.9, 1e-12);
+}
+
+TEST(Harvester, SteadyProfileDeliversExpectedEnergy) {
+  sim::Kernel k;
+  sim::Rng rng(1);
+  StorageCap cap(k, "store", 10e-6, 0.0);  // large cap: voltage stays low
+  Harvester h(k, HarvesterProfile::steady(100e-6), cap, rng, sim::us(10));
+  h.start();
+  k.run_until(sim::ms(10));
+  // 100 uW for 10 ms = 1 uJ (one tick of quantization slack).
+  EXPECT_NEAR(h.total_energy_harvested(), 1e-6, 2e-8);
+  EXPECT_NEAR(cap.stored_energy(), 1e-6, 2e-8);
+}
+
+TEST(Harvester, MarkovProfileVisitsStates) {
+  sim::Kernel k;
+  sim::Rng rng(99);
+  StorageCap cap(k, "store", 10e-6, 0.0);
+  Harvester h(k, HarvesterProfile::vibration_200uw(), cap, rng, sim::us(10));
+  h.enable_trace();
+  h.start();
+  k.run_until(sim::ms(100));
+  // Average power should be in the vicinity of the profile's mix
+  // (dominated by NORMAL at 200 uW).
+  const double avg = h.total_energy_harvested() / 100e-3;
+  EXPECT_GT(avg, 30e-6);
+  EXPECT_LT(avg, 800e-6);
+  EXPECT_GT(h.power_trace().size(), 100u);
+}
+
+TEST(Harvester, EfficiencyScalesDeposits) {
+  sim::Kernel k;
+  sim::Rng rng(1);
+  StorageCap cap(k, "store", 10e-6, 0.0);
+  Harvester h(k, HarvesterProfile::steady(100e-6), cap, rng, sim::us(10));
+  h.set_efficiency(0.5);
+  h.start();
+  k.run_until(sim::ms(1));
+  EXPECT_NEAR(h.total_energy_harvested(), 0.05e-6, 2e-9);
+}
+
+TEST(Dcdc, RegulatesWhileInputHealthy) {
+  sim::Kernel k;
+  StorageCap in(k, "store", 1e-6, 0.9);
+  DcdcConverter dc(k, "dcdc", in, DcdcParams{});
+  dc.start();
+  EXPECT_DOUBLE_EQ(dc.voltage(), 1.0);
+  // Output draw is billed to the input with loss.
+  const double e_in_before = in.stored_energy();
+  dc.draw(1e-12, 1e-12);
+  EXPECT_LT(in.stored_energy(), e_in_before - 1e-12);
+  EXPECT_GT(dc.conversion_loss_j(), 0.0);
+}
+
+TEST(Dcdc, BrownsOutBelowVinMin) {
+  sim::Kernel k;
+  DcdcParams p;
+  p.vin_min = 0.5;
+  StorageCap in(k, "store", 1e-6, 0.4);
+  DcdcConverter dc(k, "dcdc", in, p);
+  dc.start();
+  EXPECT_DOUBLE_EQ(dc.voltage(), 0.0);
+}
+
+TEST(Dcdc, QuiescentPowerDrainsInput) {
+  sim::Kernel k;
+  StorageCap in(k, "store", 1e-6, 0.9);
+  DcdcConverter dc(k, "dcdc", in, DcdcParams{});
+  dc.start();
+  const double before = in.stored_energy();
+  k.run_until(sim::ms(5));
+  EXPECT_LT(in.stored_energy(), before);
+  EXPECT_NEAR(dc.quiescent_loss_j(), 5e-9, 1e-9);  // 1 uW * 5 ms
+}
+
+TEST(Mppt, ConvergesNearMaximumPowerPoint) {
+  sim::Kernel k;
+  sim::Rng rng(5);
+  StorageCap cap(k, "store", 100e-6, 0.0);
+  Harvester h(k, HarvesterProfile::steady(200e-6), cap, rng, sim::us(10));
+  MpptParams mp;
+  mp.x_initial = 0.1;  // far from the true MPP at 0.62
+  MpptController mppt(k, h, mp);
+  h.start();
+  mppt.start();
+  k.run_until(sim::ms(60));
+  EXPECT_GT(mppt.extraction_efficiency(), 0.95);
+  EXPECT_NEAR(mppt.operating_point(), 0.62, 0.10);
+  EXPECT_GT(mppt.steps_taken(), 10u);
+}
+
+}  // namespace
+}  // namespace emc::supply
