@@ -6,11 +6,15 @@
 // that must run whether or not useful work happens. The self-timed curve
 // passes near the origin — useful activity at tiny energy — while the
 // clocked curve needs a threshold quantum before any useful work appears.
+//
+// Each energy quantum is an independent scenario (own kernels, own
+// circuits) dispatched through the SweepRunner pool; set
+// EMC_SWEEP_THREADS to control parallelism.
 #include <cmath>
 #include <cstdio>
 #include <functional>
 
-#include "analysis/sweep.hpp"
+#include "analysis/sweep_runner.hpp"
 #include "analysis/table.hpp"
 #include "async/pipeline.hpp"
 #include "device/delay_model.hpp"
@@ -21,8 +25,13 @@ namespace {
 
 using namespace emc;
 
+struct EngineResult {
+  std::uint64_t ops = 0;
+  sim::Kernel::Stats stats;
+};
+
 // Self-timed: a Muller ring powered from a charged cap; ops until stall.
-std::uint64_t selftimed_ops(double energy_j) {
+EngineResult selftimed_ops(double energy_j) {
   sim::Kernel kernel;
   device::DelayModel model{device::Tech::umc90()};
   const double cap_f = 200e-12;
@@ -33,13 +42,13 @@ std::uint64_t selftimed_ops(double energy_j) {
   async::MullerRing ring(ctx, "ring", 6, 2);
   ring.start();
   kernel.run_until(sim::ms(5));
-  return ring.ops();
+  return {ring.ops(), kernel.stats()};
 }
 
 // Clocked-equivalent: same engine but a clock/idle overhead drains the
 // quantum at a fixed rate; work only proceeds while V stays above a
 // regulator floor of 0.5 V.
-std::uint64_t clocked_ops(double energy_j) {
+EngineResult clocked_ops(double energy_j) {
   sim::Kernel kernel;
   device::DelayModel model{device::Tech::umc90()};
   const double cap_f = 200e-12;
@@ -73,7 +82,7 @@ std::uint64_t clocked_ops(double energy_j) {
   kernel.schedule(0, sample);
   kernel.set_event_cap(3'000'000);
   kernel.run_until(sim::ms(2));
-  return ops_above_floor;
+  return {ops_above_floor, kernel.stats()};
 }
 
 }  // namespace
@@ -85,21 +94,42 @@ int main() {
       "Self-timed engine vs clocked-equivalent (fixed clock overhead, "
       "0.5 V regulator floor).\n\n");
 
-  analysis::Table table({"energy_nJ", "selftimed_ops", "clocked_ops"});
+  const auto scenarios = analysis::scenarios_over(
+      "energy_nJ", {0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0});
+
+  // Typed per-scenario results land in index slots (one writer per index);
+  // the table rows come back through the runner in scenario order.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ops(scenarios.size());
+
+  analysis::SweepRunner runner(
+      {"energy_nJ", "selftimed_ops", "clocked_ops"});
+  const auto report = runner.run(
+      scenarios, [&](const analysis::Scenario& s, std::size_t i) {
+        const double e_nj = s.param(0);
+        const EngineResult st = selftimed_ops(e_nj * 1e-9);
+        const EngineResult ck = clocked_ops(e_nj * 1e-9);
+        ops[i] = {st.ops, ck.ops};
+        analysis::ScenarioOutput out;
+        out.rows.push_back({analysis::Table::num(e_nj),
+                            std::to_string(st.ops), std::to_string(ck.ops)});
+        out.stats = st.stats;
+        out.stats += ck.stats;
+        return out;
+      });
+  report.table.print();
+  if (!report.write_csv("fig1_proportionality.csv")) {
+    std::fprintf(stderr, "warning: could not write fig1_proportionality.csv\n");
+  }
+  report.print_summary();
+
   std::uint64_t st_small = 0;
   std::uint64_t ck_small = 0;
-  for (double e_nj : {0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0}) {
-    const std::uint64_t st = selftimed_ops(e_nj * 1e-9);
-    const std::uint64_t ck = clocked_ops(e_nj * 1e-9);
-    if (e_nj == 0.5) {
-      st_small = st;
-      ck_small = ck;
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    if (std::fabs(scenarios[i].param(0) - 0.5) < 1e-12) {
+      st_small = ops[i].first;
+      ck_small = ops[i].second;
     }
-    table.add_row({analysis::Table::num(e_nj), std::to_string(st),
-                   std::to_string(ck)});
   }
-  table.print();
-
   std::printf(
       "\nPaper's qualitative claim: energy-proportional (self-timed) designs "
       "generate useful\nactivity even at small amounts of energy; "

@@ -5,9 +5,15 @@
 // (correct increments/s) and power. Reports each design's delivery
 // threshold, the efficiency crossover, and the hybrid envelope — the
 // paper's recommended combination.
+//
+// Every Vdd point is an independent scenario (fresh kernels, fresh
+// counters) run through the SweepRunner pool; the QoS curves are then
+// assembled serially in grid order, so the analysis below is identical
+// at any EMC_SWEEP_THREADS.
 #include <cstdio>
 
 #include "analysis/sweep.hpp"
+#include "analysis/sweep_runner.hpp"
 #include "analysis/table.hpp"
 #include "async/bundled.hpp"
 #include "async/counter.hpp"
@@ -20,7 +26,7 @@ namespace {
 
 using namespace emc;
 
-power::QosPoint measure_dualrail(double vdd) {
+power::QosPoint measure_dualrail(double vdd, sim::Kernel::Stats* stats) {
   sim::Kernel kernel;
   device::DelayModel model{device::Tech::umc90()};
   supply::Battery bat(kernel, "vdd", vdd);
@@ -39,10 +45,11 @@ power::QosPoint measure_dualrail(double vdd) {
   p.power_w = meter.total_energy() / secs;
   p.error_rate =
       ctr.count() > 0 ? double(ctr.code_errors()) / double(ctr.count()) : 1.0;
+  *stats += kernel.stats();
   return p;
 }
 
-power::QosPoint measure_bundled(double vdd) {
+power::QosPoint measure_bundled(double vdd, sim::Kernel::Stats* stats) {
   sim::Kernel kernel;
   device::DelayModel model{device::Tech::umc90()};
   supply::Battery bat(kernel, "vdd", vdd);
@@ -62,8 +69,14 @@ power::QosPoint measure_bundled(double vdd) {
   p.power_w = meter.total_energy() / secs;
   p.error_rate =
       ctr.count() > 0 ? double(ctr.errors()) / double(ctr.count()) : 1.0;
+  *stats += kernel.stats();
   return p;
 }
+
+struct PointPair {
+  power::QosPoint d1;
+  power::QosPoint d2;
+};
 
 }  // namespace
 
@@ -71,28 +84,47 @@ int main() {
   analysis::print_banner("Fig. 2 — QoS vs Vdd: Design 1 (SI dual-rail) vs "
                          "Design 2 (bundled data) vs hybrid");
 
+  const auto grid = analysis::vdd_grid();
+  const auto scenarios = analysis::scenarios_over("vdd", grid);
+  std::vector<PointPair> points(scenarios.size());
+
+  analysis::SweepRunner runner({"vdd_V", "d1_qos_ops_s", "d1_eff_ops_uJ",
+                                "d2_qos_ops_s", "d2_eff_ops_uJ",
+                                "d2_err_rate", "winner"});
+  const auto report = runner.run(
+      scenarios, [&](const analysis::Scenario& s, std::size_t i) {
+        const double v = s.param(0);
+        analysis::ScenarioOutput out;
+        const auto p1 = measure_dualrail(v, &out.stats);
+        const auto p2 = measure_bundled(v, &out.stats);
+        points[i] = {p1, p2};
+        const bool d2_ok = p2.error_rate < 0.01;
+        const char* winner =
+            !d2_ok ? (p1.qos > 0 ? "design1" : "-")
+                   : (p2.qos_per_watt() > p1.qos_per_watt() ? "design2"
+                                                            : "design1");
+        out.rows.push_back(
+            {analysis::Table::num(v), analysis::Table::num(p1.qos, 4),
+             analysis::Table::num(p1.qos_per_watt() * 1e-6, 4),
+             analysis::Table::num(p2.qos, 4),
+             analysis::Table::num(p2.qos_per_watt() * 1e-6, 4),
+             analysis::Table::num(p2.error_rate, 3), winner});
+        return out;
+      });
+  report.table.print();
+  if (!report.write_csv("fig2_qos_vs_vdd.csv")) {
+    std::fprintf(stderr, "warning: could not write fig2_qos_vs_vdd.csv\n");
+  }
+  report.print_summary();
+
+  // Curves are rebuilt in grid order, so every threshold below is
+  // independent of how the sweep was scheduled.
   power::QosCurve d1("design1-dualrail");
   power::QosCurve d2("design2-bundled");
-  analysis::Table table({"vdd_V", "d1_qos_ops_s", "d1_eff_ops_uJ",
-                         "d2_qos_ops_s", "d2_eff_ops_uJ", "d2_err_rate",
-                         "winner"});
-  for (double v : analysis::vdd_grid()) {
-    const auto p1 = measure_dualrail(v);
-    const auto p2 = measure_bundled(v);
-    d1.add(p1);
-    d2.add(p2);
-    const bool d2_ok = p2.error_rate < 0.01;
-    const char* winner =
-        !d2_ok ? (p1.qos > 0 ? "design1" : "-")
-               : (p2.qos_per_watt() > p1.qos_per_watt() ? "design2"
-                                                        : "design1");
-    table.add_row({analysis::Table::num(v), analysis::Table::num(p1.qos, 4),
-                   analysis::Table::num(p1.qos_per_watt() * 1e-6, 4),
-                   analysis::Table::num(p2.qos, 4),
-                   analysis::Table::num(p2.qos_per_watt() * 1e-6, 4),
-                   analysis::Table::num(p2.error_rate, 3), winner});
+  for (const auto& pp : points) {
+    d1.add(pp.d1);
+    d2.add(pp.d2);
   }
-  table.print();
 
   const double min_qos = 1e4;  // "the sought QoS": 10k correct ops/s
   const auto th1 = d1.delivery_threshold(min_qos);

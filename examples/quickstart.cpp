@@ -6,9 +6,13 @@
 // Walks through the library's core loop: Kernel + DelayModel + Supply +
 // EnergyMeter -> Context -> circuits, then runs a 4-bit ripple counter
 // (the paper's Fig. 9 element) from a battery, from the Fig. 4 AC supply,
-// and from a charged capacitor that it drains to exhaustion.
+// and from a charged capacitor that it drains to exhaustion. The three
+// power scenarios are dispatched through the SweepRunner scenario engine
+// — the same subsystem the figure benches use — so they run in parallel
+// when EMC_SWEEP_THREADS allows, each on its own kernel.
 #include <cstdio>
 
+#include "analysis/sweep_runner.hpp"
 #include "async/counter.hpp"
 #include "device/delay_model.hpp"
 #include "gates/energy_meter.hpp"
@@ -18,68 +22,78 @@
 
 using namespace emc;
 
+namespace {
+
+// Shared harness: run the counter from the context's supply for
+// `horizon`, then report (kernel, supply and meter all come via ctx).
+analysis::ScenarioOutput run_counter(gates::Context& ctx, sim::Time horizon,
+                                     const std::string& label) {
+  async::ToggleRippleCounter counter(ctx, "ctr", 4);
+  counter.start();
+  ctx.kernel.run_until(horizon);
+  counter.stop();
+  ctx.kernel.run_until(ctx.kernel.now() + sim::us(2));
+  analysis::ScenarioOutput out;
+  out.rows.push_back(
+      {label, std::to_string(counter.transitions_served()),
+       analysis::Table::num(ctx.meter->total_energy() * 1e12, 4),
+       analysis::Table::num(ctx.supply.voltage(), 3)});
+  out.stats = ctx.kernel.stats();
+  return out;
+}
+
+}  // namespace
+
 int main() {
   std::printf("== energy-modulated computing: quickstart ==\n\n");
+  std::printf(
+      "One self-timed ripple counter, three supplies. Each scenario is an\n"
+      "independent kernel run through analysis::SweepRunner.\n\n");
 
-  // 1. A battery at nominal Vdd: the counter free-runs at full speed.
-  {
-    sim::Kernel kernel;
-    device::DelayModel model{device::Tech::umc90()};
-    supply::Battery vdd(kernel, "vdd", 1.0);
-    gates::EnergyMeter meter(kernel, device::Tech::umc90(), &vdd);
-    gates::Context ctx{kernel, model, vdd, &meter};
+  // params[0] selects the supply variant the body builds; the label is
+  // reporting only, so reordering scenarios cannot mislabel results.
+  enum Supply { kBattery = 0, kAc = 1, kCap = 2 };
+  const std::vector<analysis::Scenario> scenarios = {
+      {"battery 1.0 V", {kBattery}},
+      {"AC 200+/-100 mV @ 1 MHz", {kAc}},
+      {"cap 50 pF @ 0.9 V", {kCap}},
+  };
 
-    async::ToggleRippleCounter counter(ctx, "ctr", 4);
-    counter.start();
-    kernel.run_until(sim::us(1));
-    counter.stop();
-    kernel.run_until(kernel.now() + sim::ns(100));
-    std::printf("[battery 1.0 V]   1 us of run: %llu oscillator edges, "
-                "code %llu, %.1f pJ spent\n",
-                (unsigned long long)counter.transitions_served(),
-                (unsigned long long)counter.decode(),
-                meter.total_energy() * 1e12);
-  }
+  analysis::SweepRunner runner(
+      {"supply", "oscillator_edges", "energy_pJ", "residual_V"});
+  const auto report = runner.run(
+      scenarios, [&](const analysis::Scenario& s, std::size_t) {
+        sim::Kernel kernel;
+        device::DelayModel model{device::Tech::umc90()};
+        const auto which = static_cast<Supply>(static_cast<int>(s.param(0)));
+        if (which == kBattery) {
+          // Full speed: the counter free-runs for 1 us.
+          supply::Battery vdd(kernel, "vdd", 1.0);
+          gates::EnergyMeter meter(kernel, device::Tech::umc90(), &vdd);
+          gates::Context ctx{kernel, model, vdd, &meter};
+          return run_counter(ctx, sim::us(1), s.label);
+        }
+        if (which == kAc) {
+          // The paper's AC supply: the counter stalls in the troughs and
+          // resumes — slower, never wrong.
+          supply::AcSupply vdd(kernel, "ac", 0.2, 0.1, 1e6);
+          gates::EnergyMeter meter(kernel, device::Tech::umc90(), &vdd);
+          gates::Context ctx{kernel, model, vdd, &meter};
+          return run_counter(ctx, sim::us(10), s.label);
+        }
+        // A charged capacitor: the charge quantum, not a clock, decides
+        // how much is computed.
+        supply::StorageCap vdd(kernel, "cap", 50e-12, 0.9);
+        gates::EnergyMeter meter(kernel, device::Tech::umc90(), &vdd);
+        gates::Context ctx{kernel, model, vdd, &meter};
+        return run_counter(ctx, sim::ms(1), s.label);
+      });
 
-  // 2. The paper's AC supply (200 mV +/- 100 mV @ 1 MHz): the counter
-  //    stalls in the troughs and resumes — slower, never wrong.
-  {
-    sim::Kernel kernel;
-    device::DelayModel model{device::Tech::umc90()};
-    supply::AcSupply vdd(kernel, "ac", 0.2, 0.1, 1e6);
-    gates::EnergyMeter meter(kernel, device::Tech::umc90(), &vdd);
-    gates::Context ctx{kernel, model, vdd, &meter};
-
-    async::ToggleRippleCounter counter(ctx, "ctr", 4);
-    counter.start();
-    kernel.run_until(sim::us(10));  // 10 AC cycles
-    counter.stop();
-    kernel.run_until(kernel.now() + sim::us(2));
-    std::printf("[AC 200+/-100 mV] 10 us of run: %llu oscillator edges "
-                "(rate follows the supply phase)\n",
-                (unsigned long long)counter.transitions_served());
-  }
-
-  // 3. A 50 pF capacitor charged to 0.9 V: the counter converts that
-  //    charge quantum into a definite amount of computation and stops.
-  {
-    sim::Kernel kernel;
-    device::DelayModel model{device::Tech::umc90()};
-    supply::StorageCap cap(kernel, "cap", 50e-12, 0.9);
-    gates::EnergyMeter meter(kernel, device::Tech::umc90(), &cap);
-    gates::Context ctx{kernel, model, cap, &meter};
-
-    async::ToggleRippleCounter counter(ctx, "ctr", 4);
-    counter.start();
-    kernel.run_until(sim::ms(1));  // far longer than the charge lasts
-    std::printf("[cap 50 pF@0.9 V] ran to exhaustion: %llu edges, "
-                "residual %.3f V, %.2f nC drawn\n",
-                (unsigned long long)counter.transitions_served(),
-                cap.voltage(), cap.total_charge_drawn() * 1e9);
-    std::printf("                  -> the energy quantum, not a clock, "
-                "decided how much was computed.\n");
-  }
-
+  report.table.print();
+  report.print_summary();
+  std::printf(
+      "\nNote the cap scenario: it ran to exhaustion — the energy quantum "
+      "decided\nhow much was computed.\n");
   std::printf("\nNext: examples/voltage_sensor_demo, "
               "examples/harvester_sensor_node, examples/energy_token_demo\n");
   return 0;

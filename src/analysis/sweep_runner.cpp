@@ -1,0 +1,137 @@
+#include "analysis/sweep_runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace emc::analysis {
+
+std::vector<Scenario> scenarios_over(const std::string& name,
+                                     const std::vector<double>& values) {
+  std::vector<Scenario> out;
+  out.reserve(values.size());
+  for (double v : values) {
+    out.push_back(Scenario{name + "=" + Table::num(v), {v}});
+  }
+  return out;
+}
+
+bool SweepReport::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << table.to_csv();
+  return static_cast<bool>(out);
+}
+
+std::string SweepReport::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%zu scenarios on %u thread%s: %llu events in %.3f s "
+                "(%.3g ev/s)",
+                scenarios, threads, threads == 1 ? "" : "s",
+                static_cast<unsigned long long>(kernel_stats.events_executed),
+                wall_seconds,
+                wall_seconds > 0.0
+                    ? static_cast<double>(kernel_stats.events_executed) /
+                          wall_seconds
+                    : 0.0);
+  return buf;
+}
+
+void SweepReport::print_summary() const {
+  std::printf("[sweep] %s\n", summary().c_str());
+}
+
+SweepRunner::SweepRunner(std::vector<std::string> headers, Options opt)
+    : headers_(std::move(headers)), opt_(opt) {}
+
+unsigned SweepRunner::resolve_threads(unsigned requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("EMC_SWEEP_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+unsigned SweepRunner::threads_for(std::size_t n) const {
+  const unsigned t = resolve_threads(opt_.threads);
+  return static_cast<unsigned>(
+      std::min<std::size_t>(t, std::max<std::size_t>(n, 1)));
+}
+
+void SweepRunner::for_indexed(std::size_t n, unsigned threads,
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t chunk) {
+  if (n == 0) return;
+  if (chunk == 0) chunk = 1;
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(std::max(threads, 1u), n));
+
+  // Failures must not depend on scheduling: every index runs to
+  // completion (or records its exception), then the lowest-index
+  // exception is rethrown — same winner at any thread count.
+  std::vector<std::exception_ptr> errors(n);
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t begin = next.fetch_add(chunk);
+      if (begin >= n) return;
+      const std::size_t end = std::min(begin + chunk, n);
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          fn(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      }
+    }
+  };
+
+  if (threads == 1) {
+    // Serial path: run inline, no pool. This is the reference ordering
+    // the determinism test compares against.
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+SweepReport SweepRunner::run(const std::vector<Scenario>& scenarios,
+                             const Body& body) const {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const unsigned threads = threads_for(scenarios.size());
+
+  std::vector<ScenarioOutput> outputs(scenarios.size());
+  for_indexed(
+      scenarios.size(), threads,
+      [&](std::size_t i) { outputs[i] = body(scenarios[i], i); },
+      opt_.chunk);
+
+  SweepReport report;
+  report.table = Table(headers_);
+  report.scenarios = scenarios.size();
+  report.threads = threads;
+  for (auto& out : outputs) {
+    for (auto& row : out.rows) report.table.add_row(std::move(row));
+    report.kernel_stats += out.stats;
+  }
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return report;
+}
+
+}  // namespace emc::analysis

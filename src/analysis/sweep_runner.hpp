@@ -1,0 +1,129 @@
+// Parallel scenario-sweep engine.
+//
+// Every figure bench in this repo is the same workload: a grid of
+// scenarios (Vdd points, energy quanta, harvester seeds), each simulated
+// on its own emc::sim::Kernel, each producing a few table rows. The
+// kernels are fully independent — a Kernel owns all of its mutable state
+// — so scenarios run one-per-thread with no locking.
+//
+// Determinism contract: the body is called exactly once per scenario,
+// scenarios never share a kernel, and results are emitted in scenario
+// order regardless of thread count or completion order. A sweep run with
+// EMC_SWEEP_THREADS=1 and EMC_SWEEP_THREADS=N produces byte-identical
+// tables and CSV (enforced by tests/sweep_runner_test.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "analysis/table.hpp"
+#include "sim/kernel.hpp"
+
+namespace emc::analysis {
+
+/// One point of a parameter sweep: a label for reporting plus the
+/// parameter values the body needs to build its kernel + circuit.
+struct Scenario {
+  std::string label;
+  std::vector<double> params;
+
+  double param(std::size_t i, double fallback = 0.0) const {
+    return i < params.size() ? params[i] : fallback;
+  }
+};
+
+/// One scenario over a single parameter value per point.
+std::vector<Scenario> scenarios_over(const std::string& name,
+                                     const std::vector<double>& values);
+
+/// What a scenario body hands back: zero or more table rows plus the
+/// kernel's execution stats (so the sweep can report total throughput).
+struct ScenarioOutput {
+  std::vector<std::vector<std::string>> rows;
+  sim::Kernel::Stats stats;
+};
+
+/// Aggregated result of a sweep, rows in scenario order.
+struct SweepReport {
+  Table table;
+  std::size_t scenarios = 0;
+  unsigned threads = 1;
+  double wall_seconds = 0.0;        // whole-sweep wall clock
+  sim::Kernel::Stats kernel_stats;  // summed over scenarios
+
+  std::string to_csv() const { return table.to_csv(); }
+
+  /// Write the table as CSV; returns false on I/O error.
+  bool write_csv(const std::string& path) const;
+
+  /// "N scenarios on T threads: E events in W s (R ev/s)".
+  std::string summary() const;
+  void print_summary() const;
+};
+
+class SweepRunner {
+ public:
+  struct Options {
+    /// Worker threads. 0 = take EMC_SWEEP_THREADS from the environment,
+    /// falling back to std::thread::hardware_concurrency().
+    unsigned threads = 0;
+    /// Scenarios claimed per atomic grab. 1 = finest-grained stealing
+    /// (best for scenarios with very uneven cost, the common case here);
+    /// raise it when scenarios are tiny and uniform.
+    std::size_t chunk = 1;
+  };
+
+  explicit SweepRunner(std::vector<std::string> headers)
+      : SweepRunner(std::move(headers), Options()) {}
+  SweepRunner(std::vector<std::string> headers, Options opt);
+
+  /// Scenario body: receives the scenario and its index in the scenarios
+  /// vector. The index lets a body deposit typed results into a
+  /// pre-sized side vector (one writer per slot, joined before any read)
+  /// when it needs more than table rows.
+  using Body = std::function<ScenarioOutput(const Scenario&, std::size_t)>;
+
+  /// Run `body` once per scenario across the worker pool and collect the
+  /// rows, in scenario order, into a report.
+  SweepReport run(const std::vector<Scenario>& scenarios,
+                  const Body& body) const;
+
+  /// Threads a sweep of `n` scenarios will actually use.
+  unsigned threads_for(std::size_t n) const;
+
+  /// Resolve a thread request against EMC_SWEEP_THREADS / the hardware.
+  static unsigned resolve_threads(unsigned requested);
+
+  /// Deterministically-ordered parallel map: fn(i) for i in [0, n), with
+  /// results delivered in index order. The building block under run();
+  /// exposed for benches that need typed per-scenario results beyond
+  /// table rows. fn must not touch state shared across indices.
+  template <typename R, typename Fn>
+  static std::vector<R> map_indexed(std::size_t n, unsigned threads, Fn&& fn,
+                                    std::size_t chunk = 1) {
+    std::vector<R> results(n);
+    for_indexed(
+        n, threads,
+        [&](std::size_t i) { results[i] = fn(i); },
+        chunk);
+    return results;
+  }
+
+  /// Index-parallel loop with the same determinism guarantees (each index
+  /// visited exactly once; exceptions rethrown from the lowest index).
+  static void for_indexed(std::size_t n, unsigned threads,
+                          const std::function<void(std::size_t)>& fn,
+                          std::size_t chunk = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  Options opt_;
+};
+
+}  // namespace emc::analysis

@@ -11,6 +11,10 @@ namespace emc::analysis {
 
 class Table {
  public:
+  /// Headerless table; usable once headers are assigned from another
+  /// Table (SweepReport aggregation builds tables this way).
+  Table() = default;
+
   explicit Table(std::vector<std::string> headers);
 
   void add_row(std::vector<std::string> cells);

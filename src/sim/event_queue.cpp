@@ -5,67 +5,116 @@
 
 namespace emc::sim {
 
+namespace {
+
+constexpr EventId pack(std::uint32_t gen, std::uint32_t slot) {
+  return (static_cast<EventId>(gen) << 32) | slot;
+}
+
+constexpr std::uint32_t id_slot(EventId id) {
+  return static_cast<std::uint32_t>(id & 0xffffffffu);
+}
+
+constexpr std::uint32_t id_gen(EventId id) {
+  return static_cast<std::uint32_t>(id >> 32);
+}
+
+}  // namespace
+
 EventId EventQueue::schedule(Time t, Action action) {
-  const EventId id = next_seq_;
-  heap_.push_back(Entry{t, next_seq_, id, std::move(action)});
-  ++next_seq_;
+  std::uint32_t s;
+  if (!free_.empty()) {
+    s = free_.back();
+    free_.pop_back();
+  } else {
+    s = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[s];
+  slot.action = std::move(action);
+  slot.armed = true;
+  heap_.push_back(Entry{t, next_seq_++, s, slot.gen});
+  ++scheduled_;
   ++live_;
+  if (live_ > peak_live_) peak_live_ = live_;
   sift_up(heap_.size() - 1);
-  return id;
+  return pack(slot.gen, s);
 }
 
 void EventQueue::cancel(EventId id) {
-  // Lazy deletion: mark the id and skip it when it reaches the top. The
-  // cancelled list is kept sorted-free; membership is checked with a
-  // linear scan only when an entry is popped, and entries are erased as
-  // they are consumed, so the list stays short in practice (gate output
-  // retractions cancel the most recent schedule, which fires soon).
-  if (id >= next_seq_) return;
-  if (is_cancelled(id)) return;
-  cancelled_.push_back(id);
-  if (live_ > 0) --live_;
+  const std::uint32_t s = id_slot(id);
+  if (s >= slots_.size()) return;
+  Slot& slot = slots_[s];
+  if (!slot.armed || slot.gen != id_gen(id)) return;  // fired/cleared/stale
+  release_slot(s);
+  --live_;
+  // The heap entry is now stale (generation mismatch); it is purged when
+  // it reaches the root, or by compaction if stale entries dominate —
+  // without the compaction pass, a schedule-far-future-then-cancel
+  // pattern (watchdogs) would grow the heap without bound because
+  // far-future entries never surface.
+  if (heap_.size() > 64 && heap_.size() >= 2 * live_) compact();
 }
 
-bool EventQueue::is_cancelled(EventId id) const {
-  return std::find(cancelled_.begin(), cancelled_.end(), id) !=
-         cancelled_.end();
+void EventQueue::compact() {
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const Entry& e) { return stale(e); }),
+              heap_.end());
+  // Later{} orders "fires sooner" as greater-priority, matching the
+  // manual sift invariant, so make_heap restores it directly.
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+void EventQueue::release_slot(std::uint32_t s) {
+  Slot& slot = slots_[s];
+  slot.action = nullptr;
+  slot.armed = false;
+  ++slot.gen;
+  if (slot.gen == 0) ++slot.gen;  // keep 0 reserved across wraparound
+  free_.push_back(s);
+}
+
+void EventQueue::prune_stale_root() const {
+  // remove_root() only reorders/removes stale entries, which are
+  // observably absent; done here so next_time() stays O(1) amortized.
+  auto* self = const_cast<EventQueue*>(this);
+  while (!heap_.empty() && stale(heap_.front())) self->remove_root();
 }
 
 Time EventQueue::next_time() const {
-  // A cancelled entry can still sit at the top of the heap (lazy
-  // deletion), so when it does, walk the heap for the earliest live
-  // entry. The common case — live top — stays O(1).
   if (live_ == 0) return kTimeMax;
-  if (!is_cancelled(heap_.front().id)) return heap_.front().t;
-  Time best = kTimeMax;
-  for (const auto& e : heap_) {
-    if (!is_cancelled(e.id) && (e.t < best)) best = e.t;
-  }
-  return best;
+  prune_stale_root();
+  assert(!heap_.empty());
+  return heap_.front().t;
+}
+
+void EventQueue::remove_root() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
 }
 
 std::pair<Time, Action> EventQueue::pop() {
   assert(live_ > 0 && "pop() on empty EventQueue");
-  for (;;) {
-    assert(!heap_.empty());
-    Entry top = std::move(heap_.front());
-    // Standard binary-heap removal of the root.
-    heap_.front() = std::move(heap_.back());
-    heap_.pop_back();
-    if (!heap_.empty()) sift_down(0);
-    auto it = std::find(cancelled_.begin(), cancelled_.end(), top.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;  // skip cancelled entry
-    }
-    --live_;
-    return {top.t, std::move(top.action)};
-  }
+  prune_stale_root();
+  assert(!heap_.empty());
+  const Entry top = heap_.front();
+  remove_root();
+  Slot& slot = slots_[top.slot];
+  Action action = std::move(slot.action);
+  release_slot(top.slot);
+  --live_;
+  return {top.t, std::move(action)};
 }
 
 void EventQueue::clear() {
+  // Release every armed slot (bumping its generation so outstanding ids
+  // die) but keep the slab and free list: a cleared queue is about to be
+  // refilled by the next experiment, and the warm slab is the point.
+  for (std::uint32_t s = 0; s < slots_.size(); ++s) {
+    if (slots_[s].armed) release_slot(s);
+  }
   heap_.clear();
-  cancelled_.clear();
   live_ = 0;
 }
 

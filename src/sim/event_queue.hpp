@@ -6,21 +6,29 @@
 // Events scheduled for the same tick therefore fire in scheduling order
 // (a strictly increasing sequence number breaks ties), never in the
 // unspecified order a plain binary heap would give.
+//
+// Storage layout is built for scenario sweeps that create and drain
+// thousands of kernels: actions live in a slab of reusable slots (no
+// per-event allocation once the slab is warm — see Action for the
+// capture storage), the heap itself holds small POD entries, and
+// cancellation is O(1) via generation-tagged ids. A cancelled event
+// frees its slot immediately; its heap entry goes stale and is purged
+// when it surfaces, so nothing accumulates on long runs.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <utility>
 #include <vector>
 
+#include "sim/action.hpp"
 #include "sim/time.hpp"
 
 namespace emc::sim {
 
-/// Callback invoked when an event fires.
-using Action = std::function<void()>;
-
 /// Handle identifying a scheduled event; usable for cancellation.
+/// Packed {generation:32, slot:32}. A slot's generation advances every
+/// time the slot is released (fire, cancel or clear), so a stale handle
+/// can never touch the event that reused its slot. 0 is never a valid id.
 using EventId = std::uint64_t;
 
 class EventQueue {
@@ -29,9 +37,9 @@ class EventQueue {
   /// passed to cancel().
   EventId schedule(Time t, Action action);
 
-  /// Lazily cancel a pending event. Cancelled events stay in the heap but
-  /// are skipped when popped; cancelling an already-fired or unknown id is
-  /// a harmless no-op.
+  /// Cancel a pending event in O(1): the slot is released immediately and
+  /// the heap entry left to be purged when popped. Cancelling an
+  /// already-fired, cleared or unknown id is a harmless no-op.
   void cancel(EventId id);
 
   /// True if no live (non-cancelled) event remains.
@@ -48,17 +56,49 @@ class EventQueue {
   std::pair<Time, Action> pop();
 
   /// Drop everything (used when resetting a kernel between experiments).
+  /// Outstanding EventIds are invalidated: cancelling them later is a
+  /// no-op even after their slots are reused.
   void clear();
 
   /// Total events ever scheduled (statistics for the micro-bench).
-  std::uint64_t total_scheduled() const { return next_seq_; }
+  std::uint64_t total_scheduled() const { return scheduled_; }
+
+  /// Zero the statistics counters (scheduled total, peak) without
+  /// touching pending events or the slab. Kernel::reset() calls this so
+  /// stats() really means "since last reset".
+  void reset_stats() {
+    scheduled_ = 0;
+    peak_live_ = live_;
+  }
+
+  // --- introspection (stats reporting and tests) ---
+
+  /// High-water mark of live events.
+  std::size_t peak_live() const { return peak_live_; }
+
+  /// Slots in the slab (live + reusable). Stays flat on a steady-state
+  /// schedule/cancel workload — the regression test for the old
+  /// unbounded cancelled-id list.
+  std::size_t slab_capacity() const { return slots_.size(); }
+
+  /// Heap entries including stale (cancelled) ones awaiting purge.
+  std::size_t heap_entries() const { return heap_.size(); }
 
  private:
+  struct Slot {
+    Action action;
+    std::uint32_t gen = 1;   // current generation; 0 reserved
+    bool armed = false;      // true while a live event occupies the slot
+  };
+
+  // POD heap entry: cheap to swap during sift. `gen` snapshots the slot
+  // generation at schedule time; a mismatch on pop means the event was
+  // cancelled (or the queue cleared) and the entry is discarded.
   struct Entry {
     Time t;
     std::uint64_t seq;  // tie-breaker: FIFO among equal timestamps
-    EventId id;
-    Action action;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
 
   struct Later {
@@ -70,12 +110,23 @@ class EventQueue {
 
   void sift_up(std::size_t i);
   void sift_down(std::size_t i);
-  bool is_cancelled(EventId id) const;
+  void compact();
+  bool stale(const Entry& e) const {
+    return slots_[e.slot].gen != e.gen || !slots_[e.slot].armed;
+  }
+  void remove_root();
+  void release_slot(std::uint32_t s);
+  // Drops stale entries off the top so heap_.front() is live. Logically
+  // const: stale entries are already observably absent.
+  void prune_stale_root() const;
 
-  std::vector<Entry> heap_;
-  std::vector<EventId> cancelled_;  // sorted insertion not needed; small
+  mutable std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;  // reusable slot indices
   std::uint64_t next_seq_ = 0;
+  std::uint64_t scheduled_ = 0;
   std::size_t live_ = 0;
+  std::size_t peak_live_ = 0;
 };
 
 }  // namespace emc::sim

@@ -12,6 +12,7 @@ bool Kernel::step() {
 }
 
 std::uint64_t Kernel::run_until(Time deadline) {
+  const auto wall_start = std::chrono::steady_clock::now();
   std::uint64_t n = 0;
   cap_hit_ = false;
   while (!queue_.empty() && queue_.next_time() <= deadline) {
@@ -25,14 +26,20 @@ std::uint64_t Kernel::run_until(Time deadline) {
   // Advance the clock to the deadline even if no event lands exactly
   // there, so back-to-back run_until calls observe monotonic time.
   if (deadline != kTimeMax && now_ < deadline && !cap_hit_) now_ = deadline;
+  wall_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
   return n;
 }
 
 void Kernel::reset() {
   queue_.clear();
+  queue_.reset_stats();
   now_ = 0;
   executed_ = 0;
   cap_hit_ = false;
+  wall_seconds_ = 0.0;
 }
 
 }  // namespace emc::sim

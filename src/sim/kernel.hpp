@@ -4,10 +4,15 @@
 // supplies and controllers are ordinary objects that schedule callbacks;
 // there is no coroutine machinery — self-timed circuits are naturally
 // event-driven, and plain callbacks keep a 100k-event/ms simulation cheap.
+//
+// One Kernel is one scenario: kernels are cheap to instantiate by the
+// thousands (slab-backed queue, no global state) and independent kernels
+// never share mutable state, so a sweep may run one per thread. A single
+// Kernel instance is NOT thread-safe.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
@@ -18,6 +23,35 @@ namespace emc::sim {
 
 class Kernel {
  public:
+  /// Execution snapshot for sweep throughput reporting.
+  struct Stats {
+    std::uint64_t events_executed = 0;
+    std::uint64_t events_scheduled = 0;
+    std::size_t peak_queue_depth = 0;
+    std::size_t slab_capacity = 0;
+    // Wall time accumulated across run_until()/run() calls. Direct
+    // step() loops are not timed — per-event clock reads would dominate
+    // the hot path — so events_per_second() reads 0 for them.
+    double wall_seconds = 0.0;
+
+    double events_per_second() const {
+      return wall_seconds > 0.0
+                 ? static_cast<double>(events_executed) / wall_seconds
+                 : 0.0;
+    }
+
+    Stats& operator+=(const Stats& o) {
+      events_executed += o.events_executed;
+      events_scheduled += o.events_scheduled;
+      if (o.peak_queue_depth > peak_queue_depth) {
+        peak_queue_depth = o.peak_queue_depth;
+      }
+      slab_capacity += o.slab_capacity;
+      wall_seconds += o.wall_seconds;
+      return *this;
+    }
+  };
+
   Kernel() = default;
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
@@ -59,12 +93,25 @@ class Kernel {
   /// Total events executed since construction / last reset.
   std::uint64_t events_executed() const { return executed_; }
 
+  /// Snapshot of execution statistics since construction / last reset.
+  Stats stats() const {
+    Stats s;
+    s.events_executed = executed_;
+    s.events_scheduled = queue_.total_scheduled();
+    s.peak_queue_depth = queue_.peak_live();
+    s.slab_capacity = queue_.slab_capacity();
+    s.wall_seconds = wall_seconds_;
+    return s;
+  }
+
   /// Guard against runaway simulations (oscillators never drain the
   /// queue): run_until stops after this many events. Default 500M.
   void set_event_cap(std::uint64_t cap) { event_cap_ = cap; }
   bool event_cap_hit() const { return cap_hit_; }
 
   /// Reset time and drop all pending events; registered objects survive.
+  /// EventIds handed out before the reset are invalidated — cancelling
+  /// one afterwards never touches a post-reset event.
   void reset();
 
  private:
@@ -78,6 +125,7 @@ class Kernel {
   std::uint64_t executed_ = 0;
   std::uint64_t event_cap_ = 500'000'000;
   bool cap_hit_ = false;
+  double wall_seconds_ = 0.0;
 };
 
 }  // namespace emc::sim

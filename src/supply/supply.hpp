@@ -62,10 +62,18 @@ class Supply {
 
  protected:
   void fire_wake() {
-    // Listeners may re-register or schedule work; iterate over a copy so
-    // the list can be appended to during the walk.
-    auto snapshot = wake_listeners_;
-    for (auto& fn : snapshot) fn();
+    // A listener may call on_wake() from inside its own callback (the
+    // scheduler re-arms itself when it stalls again mid-wake). Walking
+    // wake_listeners_ in place would let that push_back reallocate the
+    // vector and destroy the closure currently executing, so the firing
+    // set is moved into stable local storage first; registrations made
+    // during the walk land in wake_listeners_ and run on the next wake.
+    std::vector<sim::Action> firing;
+    firing.swap(wake_listeners_);
+    for (auto& fn : firing) fn();
+    // Keep all listeners, original registrations first.
+    for (auto& fn : wake_listeners_) firing.push_back(std::move(fn));
+    wake_listeners_ = std::move(firing);
   }
 
  private:

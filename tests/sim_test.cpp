@@ -81,6 +81,123 @@ TEST(EventQueue, NextTimeSkipsCancelledTop) {
   EXPECT_EQ(q.next_time(), 20u);
 }
 
+TEST(EventQueue, FifoPreservedUnderMixedScheduleCancel) {
+  // Cancelling events in between must not disturb FIFO order among the
+  // survivors at a shared timestamp, even as slots are freed and reused
+  // mid-stream.
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> victims;
+  for (int i = 0; i < 30; ++i) {
+    const EventId id = q.schedule(42, [&order, i] { order.push_back(i); });
+    if (i % 3 == 1) victims.push_back(id);
+    if (i % 5 == 4) {
+      // Cancel mid-stream so the freed slots get reused by later
+      // schedules while earlier entries are still pending.
+      q.cancel(victims.back());
+      victims.pop_back();
+    }
+  }
+  for (EventId id : victims) q.cancel(id);
+  while (!q.empty()) q.pop().second();
+  ASSERT_EQ(order.size(), 20u);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LT(order[i - 1], order[i]);
+    EXPECT_NE(order[i] % 3, 1);
+  }
+}
+
+TEST(EventQueue, CancelledEntriesPurgedNotAccumulated) {
+  // Regression for the old lazy-cancellation leak: a long-running
+  // schedule/cancel workload must not grow internal state without bound.
+  EventQueue q;
+  for (int round = 0; round < 10000; ++round) {
+    const EventId id = q.schedule(static_cast<Time>(round), [] {});
+    q.cancel(id);
+    // Popping intervening live events flushes the stale heap entries.
+    q.schedule(static_cast<Time>(round), [] {});
+    q.pop().second();
+    EXPECT_LE(q.heap_entries(), 2u);
+  }
+  // The slab reuses the same couple of slots the whole time.
+  EXPECT_LE(q.slab_capacity(), 4u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, FarFutureCancelsCompactedNotAccumulated) {
+  // Watchdog pattern: schedule far in the future, cancel when the op
+  // completes. The stale entries never reach the root on their own, so
+  // compaction must bound the heap.
+  EventQueue q;
+  for (int round = 0; round < 100000; ++round) {
+    const EventId watchdog =
+        q.schedule(static_cast<Time>(1'000'000'000 + round), [] {});
+    q.cancel(watchdog);
+    EXPECT_LE(q.heap_entries(), 128u);
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_LE(q.slab_capacity(), 4u);
+  // A live event scheduled afterwards still pops normally.
+  int fired = 0;
+  q.schedule(10, [&] { ++fired; });
+  q.pop().second();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, StaleIdAfterSlotReuseIsNoop) {
+  // Generation tags: an id whose slot was freed and reused must never
+  // cancel the newer occupant.
+  EventQueue q;
+  int fired = 0;
+  const EventId old_id = q.schedule(10, [&] { fired += 100; });
+  q.cancel(old_id);
+  const EventId new_id = q.schedule(20, [&] { ++fired; });  // reuses slot
+  q.cancel(old_id);  // stale handle — must not touch new_id's event
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, 1);
+  q.cancel(new_id);  // already fired: harmless
+}
+
+TEST(EventQueue, DoubleCancelAndCancelAfterClear) {
+  EventQueue q;
+  const EventId a = q.schedule(10, [] {});
+  q.cancel(a);
+  q.cancel(a);  // second cancel of the same id: no-op
+  EXPECT_TRUE(q.empty());
+  const EventId b = q.schedule(10, [] {});
+  q.clear();
+  q.cancel(b);  // id from before clear(): no-op
+  int fired = 0;
+  q.schedule(10, [&] { ++fired; });  // may reuse b's slot
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, PeakLiveTracksHighWaterMark) {
+  EventQueue q;
+  for (int i = 0; i < 5; ++i) q.schedule(10 + i, [] {});
+  q.pop().second();
+  q.pop().second();
+  q.schedule(50, [] {});
+  EXPECT_EQ(q.peak_live(), 5u);
+  EXPECT_EQ(q.total_scheduled(), 6u);
+}
+
+TEST(Action, InlineAndHeapCapturesBothWork) {
+  int hits = 0;
+  Action small([&hits] { ++hits; });
+  small();
+  EXPECT_EQ(hits, 1);
+  // Oversized capture spills to the heap transparently.
+  std::vector<double> big(64, 1.5);
+  Action large([&hits, big] { hits += static_cast<int>(big.size()); });
+  Action moved = std::move(large);
+  EXPECT_FALSE(static_cast<bool>(large));
+  moved();
+  EXPECT_EQ(hits, 65);
+}
+
 TEST(Kernel, AdvancesTimeMonotonically) {
   Kernel k;
   Time seen = 0;
@@ -142,6 +259,57 @@ TEST(Kernel, ResetClearsEverything) {
   EXPECT_EQ(k.now(), 0u);
   EXPECT_TRUE(k.idle());
   EXPECT_EQ(k.events_executed(), 0u);
+  // Stats counters restart with the reset too — stats() means "since
+  // last reset", not "since construction, except some fields".
+  const Kernel::Stats s = k.stats();
+  EXPECT_EQ(s.events_scheduled, 0u);
+  EXPECT_EQ(s.peak_queue_depth, 0u);
+  EXPECT_EQ(s.wall_seconds, 0.0);
+}
+
+TEST(Kernel, EventsBeforeResetNeverFireAfterIt) {
+  // Regression: schedule_at events pending at reset() must die with the
+  // reset — even though the post-reset schedule reuses their slots — and
+  // events_executed() must restart from 0.
+  Kernel k;
+  int pre = 0;
+  int post = 0;
+  k.schedule_at(100, [&] { ++pre; });
+  k.schedule_at(250, [&] { ++pre; });
+  const EventId stale = k.schedule_at(400, [&] { ++pre; });
+  k.run_until(150);
+  EXPECT_EQ(pre, 1);
+  EXPECT_EQ(k.events_executed(), 1u);
+
+  k.reset();
+  EXPECT_EQ(k.events_executed(), 0u);
+  k.schedule_at(250, [&] { ++post; });
+  k.schedule_at(400, [&] { ++post; });
+  k.cancel(stale);  // pre-reset handle: must not kill a post-reset event
+  k.run();
+  EXPECT_EQ(pre, 1) << "pre-reset event fired after reset";
+  EXPECT_EQ(post, 2);
+  EXPECT_EQ(k.events_executed(), 2u);
+}
+
+TEST(Kernel, StatsSnapshotReportsExecutionCounters) {
+  Kernel k;
+  for (int i = 0; i < 8; ++i) k.schedule(static_cast<Time>(i + 1), [] {});
+  const EventId victim = k.schedule(100, [] {});
+  k.cancel(victim);
+  k.run();
+  const Kernel::Stats s = k.stats();
+  EXPECT_EQ(s.events_executed, 8u);
+  EXPECT_EQ(s.events_scheduled, 9u);
+  EXPECT_EQ(s.peak_queue_depth, 9u);
+  EXPECT_GE(s.slab_capacity, 1u);
+  EXPECT_GE(s.wall_seconds, 0.0);
+
+  Kernel::Stats sum;
+  sum += s;
+  sum += s;
+  EXPECT_EQ(sum.events_executed, 16u);
+  EXPECT_EQ(sum.peak_queue_depth, 9u);
 }
 
 TEST(Signal, NotifiesOnChangeOnly) {

@@ -1,0 +1,141 @@
+// SweepRunner determinism and scheduling tests.
+//
+// The engine's contract: results come back in scenario order, and a
+// sweep's table/CSV output is byte-identical at any thread count. The
+// bodies here run real (small) kernels with deliberately uneven cost so
+// completion order differs from scenario order under parallelism.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/sweep_runner.hpp"
+#include "sim/kernel.hpp"
+
+namespace emc::analysis {
+namespace {
+
+// A scenario body that simulates `ticks` events on its own kernel and
+// reports the count — cheap, deterministic, and uneven across scenarios.
+ScenarioOutput simulate_point(const Scenario& s, std::size_t /*index*/) {
+  sim::Kernel kernel;
+  const auto ticks = static_cast<std::uint64_t>(s.param(0));
+  std::uint64_t fired = 0;
+  for (std::uint64_t i = 0; i < ticks; ++i) {
+    kernel.schedule(static_cast<sim::Time>(i % 11 + 1), [&fired] { ++fired; });
+  }
+  kernel.run();
+  ScenarioOutput out;
+  out.rows.push_back({s.label, std::to_string(fired)});
+  out.stats = kernel.stats();
+  return out;
+}
+
+std::vector<Scenario> uneven_scenarios() {
+  // Costs spanning 3 decades so a fast scenario finishes long before a
+  // slow earlier one under parallel execution.
+  return scenarios_over("ticks", {4000, 10, 2000, 1, 800, 50, 3000, 5, 1500,
+                                  100, 2500, 20});
+}
+
+TEST(SweepRunner, ResultsInScenarioOrder) {
+  SweepRunner::Options opt;
+  opt.threads = 4;
+  SweepRunner runner({"scenario", "fired"}, opt);
+  const auto scenarios = uneven_scenarios();
+  const SweepReport report = runner.run(scenarios, simulate_point);
+  EXPECT_EQ(report.scenarios, scenarios.size());
+  const std::string csv = report.to_csv();
+  // Header + rows in scenario (not completion) order.
+  std::size_t pos = csv.find("ticks=4000");
+  ASSERT_NE(pos, std::string::npos);
+  for (const char* label : {"ticks=10", "ticks=2000", "ticks=1"}) {
+    const std::size_t next = csv.find(label, pos);
+    ASSERT_NE(next, std::string::npos) << label;
+    EXPECT_GT(next, pos);
+    pos = next;
+  }
+}
+
+TEST(SweepRunner, CsvByteIdenticalAcrossThreadCounts) {
+  const auto scenarios = uneven_scenarios();
+  std::vector<std::string> csvs;
+  for (unsigned threads : {1u, 2u, 7u}) {
+    SweepRunner::Options opt;
+    opt.threads = threads;
+    SweepRunner runner({"scenario", "fired"}, opt);
+    csvs.push_back(runner.run(scenarios, simulate_point).to_csv());
+  }
+  EXPECT_EQ(csvs[0], csvs[1]);
+  EXPECT_EQ(csvs[0], csvs[2]);
+}
+
+TEST(SweepRunner, AggregatesKernelStats) {
+  SweepRunner runner({"scenario", "fired"});
+  const auto report =
+      runner.run(scenarios_over("ticks", {10, 20, 30}), simulate_point);
+  EXPECT_EQ(report.kernel_stats.events_executed, 60u);
+  EXPECT_EQ(report.kernel_stats.events_scheduled, 60u);
+  EXPECT_FALSE(report.summary().empty());
+}
+
+TEST(SweepRunner, EachIndexVisitedExactlyOnce) {
+  constexpr std::size_t kN = 257;
+  std::vector<std::atomic<int>> visits(kN);
+  SweepRunner::for_indexed(kN, 8, [&](std::size_t i) { ++visits[i]; },
+                           /*chunk=*/3);
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(SweepRunner, MapIndexedDeliversInOrder) {
+  const auto out = SweepRunner::map_indexed<std::size_t>(
+      100, 5, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(SweepRunner, LowestIndexExceptionWinsAtAnyThreadCount) {
+  for (unsigned threads : {1u, 4u}) {
+    try {
+      SweepRunner::for_indexed(20, threads, [](std::size_t i) {
+        if (i == 3 || i == 17) {
+          throw std::runtime_error("boom " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom 3");
+    }
+  }
+}
+
+TEST(SweepRunner, ScenariosOverBuildsLabelsAndParams) {
+  const auto s = scenarios_over("vdd", {0.25, 1.0});
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0].label, "vdd=0.25");
+  EXPECT_DOUBLE_EQ(s[0].param(0), 0.25);
+  EXPECT_EQ(s[1].label, "vdd=1");
+  EXPECT_DOUBLE_EQ(s[1].param(0, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(s[1].param(7, -1.0), -1.0);  // out of range -> fallback
+}
+
+TEST(SweepRunner, EnvVarControlsThreadResolution) {
+  ASSERT_EQ(setenv("EMC_SWEEP_THREADS", "3", 1), 0);
+  EXPECT_EQ(SweepRunner::resolve_threads(0), 3u);
+  EXPECT_EQ(SweepRunner::resolve_threads(5), 5u);  // explicit wins
+  ASSERT_EQ(unsetenv("EMC_SWEEP_THREADS"), 0);
+  EXPECT_GE(SweepRunner::resolve_threads(0), 1u);
+}
+
+TEST(SweepRunner, EmptySweepIsHarmless) {
+  SweepRunner runner({"a"});
+  const auto report = runner.run({}, simulate_point);
+  EXPECT_EQ(report.scenarios, 0u);
+  EXPECT_EQ(report.to_csv(), "a\n");
+}
+
+}  // namespace
+}  // namespace emc::analysis
