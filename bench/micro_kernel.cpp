@@ -1,8 +1,39 @@
-// Micro-benchmarks (google-benchmark): simulation-kernel event
-// throughput, delay-model evaluation cost, gate-level oscillator rate,
-// and SI SRAM operation cost — the numbers that bound experiment scale.
-#include <benchmark/benchmark.h>
+// Core performance suite — the numbers that bound experiment scale.
+//
+// Measures the five hot paths every paper experiment sits on and writes
+// a machine-readable BENCH_core.json so each PR is held to the recorded
+// trajectory:
+//   * kernel_events      — raw event schedule/dispatch throughput
+//   * delay_model_eval   — device::DelayModel::delay_seconds cost
+//   * gate_oscillator    — full gate loop: listener dispatch + delay
+//                          model + supply draw + energy meter
+//   * sram_ops           — speed-independent SRAM write transactions
+//   * sweep_throughput   — SweepRunner events/s via summed Kernel::Stats
+//
+// No google-benchmark dependency: a minimal best-of-N timer harness is
+// all these throughput numbers need, and it keeps the bench buildable in
+// every container the tests build in.
+//
+// Usage:
+//   micro_kernel [--smoke] [--out FILE] [--baseline FILE]
+//
+// --smoke (or EMC_BENCH_SMOKE=1) shrinks batches ~20x for CI; the rates
+// are noisier but the JSON shape is identical. --baseline merges a
+// previously recorded BENCH_core.json (e.g. bench/refs/BENCH_baseline.json)
+// into the output as `baseline_rate` / `speedup` per bench.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
 
+#include "analysis/sweep_runner.hpp"
 #include "async/counter.hpp"
 #include "device/delay_model.hpp"
 #include "gates/combinational.hpp"
@@ -14,81 +45,248 @@
 namespace {
 
 using namespace emc;
+using Clock = std::chrono::steady_clock;
 
-void BM_KernelScheduleRun(benchmark::State& state) {
-  for (auto _ : state) {
-    sim::Kernel k;
-    for (int i = 0; i < 1000; ++i) {
-      k.schedule(static_cast<sim::Time>(i % 97), [] {});
+volatile double g_sink = 0.0;  // defeats dead-code elimination
+
+struct BenchResult {
+  std::string name;
+  std::string unit;
+  std::uint64_t items = 0;  // items of the best batch
+  double seconds = 0.0;     // wall time of the best batch
+  double rate = 0.0;        // best items/second over all batches
+  double baseline_rate = 0.0;  // 0 = no baseline available
+};
+
+/// Run `batch` (which returns items processed) `reps` times and keep the
+/// best rate — the standard throughput estimator: the minimum-overhead
+/// run is the one closest to the true cost of the code under test.
+BenchResult run_bench(const std::string& name, const std::string& unit,
+                      int reps, const std::function<std::uint64_t()>& batch) {
+  BenchResult r;
+  r.name = name;
+  r.unit = unit;
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = Clock::now();
+    const std::uint64_t items = batch();
+    const double s = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (s <= 0.0 || items == 0) continue;
+    const double rate = static_cast<double>(items) / s;
+    if (rate > r.rate) {
+      r.rate = rate;
+      r.items = items;
+      r.seconds = s;
     }
-    k.run();
-    benchmark::DoNotOptimize(k.events_executed());
   }
-  state.SetItemsProcessed(state.iterations() * 1000);
+  std::printf("  %-18s %12.3e %s  (%llu items in %.4f s)\n", name.c_str(),
+              r.rate, unit.c_str(), static_cast<unsigned long long>(r.items),
+              r.seconds);
+  return r;
 }
-BENCHMARK(BM_KernelScheduleRun);
 
-void BM_DelayModelEval(benchmark::State& state) {
+// --- the five benches ---------------------------------------------------
+
+BenchResult bench_kernel_events(bool smoke) {
+  const int rounds = smoke ? 10 : 200;
+  return run_bench("kernel_events", "events/s", smoke ? 3 : 5, [rounds] {
+    sim::Kernel k;
+    const std::uint64_t before = k.events_executed();
+    for (int r = 0; r < rounds; ++r) {
+      for (int i = 0; i < 5000; ++i) {
+        k.schedule(static_cast<sim::Time>(i % 97), [] {});
+      }
+      k.run();
+    }
+    return k.events_executed() - before;
+  });
+}
+
+BenchResult bench_delay_model_eval(bool smoke) {
+  const std::uint64_t n = smoke ? 100'000 : 2'000'000;
   device::DelayModel model{device::Tech::umc90()};
-  double v = 0.15;
-  double acc = 0.0;
-  for (auto _ : state) {
-    acc += model.delay_seconds(v, 2e-15);
-    v += 0.001;
-    if (v > 1.1) v = 0.15;
-  }
-  benchmark::DoNotOptimize(acc);
+  return run_bench("delay_model_eval", "evals/s", smoke ? 3 : 5, [n, &model] {
+    double acc = 0.0;
+    double v = 0.15;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      acc += model.delay_seconds(v, 2e-15);
+      v += 0.001;
+      if (v > 1.1) v = 0.15;
+    }
+    g_sink = acc;
+    return n;
+  });
 }
-BENCHMARK(BM_DelayModelEval);
 
-void BM_GateOscillator(benchmark::State& state) {
-  for (auto _ : state) {
+BenchResult bench_gate_oscillator(bool smoke) {
+  const sim::Time horizon = smoke ? sim::ns(200) : sim::us(2);
+  return run_bench("gate_oscillator", "transitions/s", smoke ? 3 : 5,
+                   [horizon] {
+                     sim::Kernel kernel;
+                     device::DelayModel model{device::Tech::umc90()};
+                     supply::Battery bat(kernel, "vdd", 1.0);
+                     gates::EnergyMeter meter(kernel, device::Tech::umc90(),
+                                              &bat);
+                     gates::Context ctx{kernel, model, bat, &meter};
+                     sim::Wire osc(kernel, "osc", false);
+                     gates::CombGate inv(ctx, "inv", gates::Op::kInv, {&osc},
+                                         osc);
+                     inv.touch();
+                     kernel.run_until(horizon);
+                     return osc.transitions();
+                   });
+}
+
+BenchResult bench_sram_ops(bool smoke) {
+  const std::uint16_t n = smoke ? 200 : 2000;
+  return run_bench("sram_ops", "ops/s", smoke ? 3 : 5, [n] {
     sim::Kernel kernel;
     device::DelayModel model{device::Tech::umc90()};
     supply::Battery bat(kernel, "vdd", 1.0);
     gates::EnergyMeter meter(kernel, device::Tech::umc90(), &bat);
     gates::Context ctx{kernel, model, bat, &meter};
-    sim::Wire osc(kernel, "osc", false);
-    gates::CombGate inv(ctx, "inv", gates::Op::kInv, {&osc}, osc);
-    inv.touch();
-    kernel.run_until(sim::ns(100));
-    benchmark::DoNotOptimize(osc.transitions());
-  }
+    sram::SiSram sram(ctx, "sram", sram::SiSramParams{});
+    for (std::uint16_t v = 0; v < n; ++v) {
+      sram.write(v % 64u, v, nullptr);
+      kernel.run();
+    }
+    return static_cast<std::uint64_t>(n);
+  });
 }
-BENCHMARK(BM_GateOscillator);
 
-void BM_RippleCounterCycle(benchmark::State& state) {
-  for (auto _ : state) {
-    sim::Kernel kernel;
-    device::DelayModel model{device::Tech::umc90()};
-    supply::Battery bat(kernel, "vdd", 1.0);
-    gates::EnergyMeter meter(kernel, device::Tech::umc90(), &bat);
-    gates::Context ctx{kernel, model, bat, &meter};
-    async::ToggleRippleCounter ctr(ctx, "ctr", 8);
-    ctr.start();
-    kernel.run_until(sim::ns(200));
-    benchmark::DoNotOptimize(ctr.transitions_served());
+BenchResult bench_sweep_throughput(bool smoke) {
+  const std::size_t points = smoke ? 6 : 16;
+  std::vector<double> grid;
+  for (std::size_t i = 0; i < points; ++i) {
+    grid.push_back(0.3 + 0.05 * static_cast<double>(i));
   }
+  const sim::Time horizon = smoke ? sim::ns(100) : sim::ns(500);
+  return run_bench(
+      "sweep_throughput", "events/s", smoke ? 2 : 3, [&grid, horizon] {
+        analysis::SweepRunner runner({"vdd_V", "transitions"});
+        auto report = runner.run(
+            analysis::scenarios_over("vdd", grid),
+            [horizon](const analysis::Scenario& s, std::size_t) {
+              sim::Kernel kernel;
+              device::DelayModel model{device::Tech::umc90()};
+              supply::Battery bat(kernel, "vdd", s.param(0));
+              gates::Context ctx{kernel, model, bat, nullptr};
+              sim::Wire osc(kernel, "osc", false);
+              gates::CombGate inv(ctx, "inv", gates::Op::kInv, {&osc}, osc);
+              inv.touch();
+              kernel.run_until(horizon);
+              analysis::ScenarioOutput out;
+              out.rows.push_back({s.label, std::to_string(osc.transitions())});
+              out.stats = kernel.stats();
+              return out;
+            });
+        return report.kernel_stats.events_executed;
+      });
 }
-BENCHMARK(BM_RippleCounterCycle);
 
-void BM_SiSramWrite(benchmark::State& state) {
-  sim::Kernel kernel;
-  device::DelayModel model{device::Tech::umc90()};
-  supply::Battery bat(kernel, "vdd", 1.0);
-  gates::EnergyMeter meter(kernel, device::Tech::umc90(), &bat);
-  gates::Context ctx{kernel, model, bat, &meter};
-  sram::SiSram sram(ctx, "sram", sram::SiSramParams{});
-  std::uint16_t v = 0;
-  for (auto _ : state) {
-    sram.write(v % 64, v, nullptr);
-    kernel.run();
-    ++v;
-  }
-  state.SetItemsProcessed(state.iterations());
+// --- baseline merge + JSON output ---------------------------------------
+
+/// Pull `"rate":` for bench `name` out of a previously written
+/// BENCH_core.json. A two-anchor scan is all the controlled format needs.
+double baseline_rate_for(const std::string& text, const std::string& name) {
+  const std::string anchor = "\"name\": \"" + name + "\"";
+  std::size_t at = text.find(anchor);
+  if (at == std::string::npos) return 0.0;
+  at = text.find("\"rate\":", at);
+  if (at == std::string::npos) return 0.0;
+  return std::strtod(text.c_str() + at + 7, nullptr);
 }
-BENCHMARK(BM_SiSramWrite);
+
+void write_json(const std::string& path, const std::vector<BenchResult>& rs,
+                bool smoke) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  out << "{\n  \"schema\": \"emc-bench-core-v1\",\n";
+  out << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n";
+  out << "  \"benches\": [\n";
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    const auto& r = rs[i];
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"unit\": \"%s\", \"items\": %llu, "
+                  "\"seconds\": %.6f, \"rate\": %.6e",
+                  r.name.c_str(), r.unit.c_str(),
+                  static_cast<unsigned long long>(r.items), r.seconds, r.rate);
+    out << buf;
+    if (r.baseline_rate > 0.0) {
+      std::snprintf(buf, sizeof(buf),
+                    ", \"baseline_rate\": %.6e, \"speedup\": %.3f",
+                    r.baseline_rate, r.rate / r.baseline_rate);
+      out << buf;
+    }
+    out << '}' << (i + 1 < rs.size() ? "," : "") << '\n';
+  }
+  out << "  ]\n}\n";
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_core.json";
+  std::string baseline_path;
+  if (const char* env = std::getenv("EMC_BENCH_SMOKE")) {
+    smoke = env[0] != '\0' && env[0] != '0';
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--out FILE] [--baseline FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("emc core perf suite (%s mode)\n", smoke ? "smoke" : "full");
+  std::vector<BenchResult> results;
+  results.push_back(bench_kernel_events(smoke));
+  results.push_back(bench_delay_model_eval(smoke));
+  results.push_back(bench_gate_oscillator(smoke));
+  results.push_back(bench_sram_ops(smoke));
+  results.push_back(bench_sweep_throughput(smoke));
+
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read baseline %s\n", baseline_path.c_str());
+      return 1;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+    const std::string mode = smoke ? "smoke" : "full";
+    if (text.find("\"mode\": \"" + mode + "\"") == std::string::npos) {
+      // Rates from different batch sizes are not comparable; a merged
+      // speedup would read as a phantom regression.
+      std::fprintf(stderr,
+                   "baseline %s was recorded in a different mode than this "
+                   "%s run; skipping speedup merge\n",
+                   baseline_path.c_str(), mode.c_str());
+    } else {
+      for (auto& r : results) {
+        r.baseline_rate = baseline_rate_for(text, r.name);
+        if (r.baseline_rate > 0.0) {
+          std::printf("  %-18s speedup vs baseline: %.2fx\n", r.name.c_str(),
+                      r.rate / r.baseline_rate);
+        }
+      }
+    }
+  }
+
+  write_json(out_path, results, smoke);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -63,7 +63,7 @@ BundledCounter::BundledCounter(gates::Context& ctx, std::string name,
     metered_ = true;
   }
 
-  line_->output().on_change([this](const sim::Wire&) { on_line_output(); });
+  line_->output().subscribe<&BundledCounter::on_line_output>(this);
 
   // Settle the datapath outputs to inc(0) before the first launch.
   for (auto* g : dp) g->touch();

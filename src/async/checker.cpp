@@ -4,8 +4,8 @@ namespace emc::async {
 
 HandshakeChecker::HandshakeChecker(sim::Wire& req, sim::Wire& ack)
     : req_(&req), ack_(&ack) {
-  req_->on_change([this](const sim::Wire&) { on_req(); });
-  ack_->on_change([this](const sim::Wire&) { on_ack(); });
+  req_->subscribe<&HandshakeChecker::on_req>(this);
+  ack_->subscribe<&HandshakeChecker::on_ack>(this);
 }
 
 void HandshakeChecker::on_req() {
@@ -39,10 +39,18 @@ DualRailChecker::DualRailChecker(
   for (std::size_t i = 0; i < bits.size(); ++i) {
     bits_.push_back(BitMonitor{bits[i].t, bits[i].f,
                                rail_state(bits[i].t->read(),
-                                          bits[i].f->read())});
-    bits_[i].t->on_change([this, i](const sim::Wire&) { on_bit_change(i); });
-    bits_[i].f->on_change([this, i](const sim::Wire&) { on_bit_change(i); });
+                                          bits[i].f->read()),
+                               this, i});
+    // &bits_[i] stays valid: bits_ is reserved above and never resized
+    // after construction.
+    bits_[i].t->subscribe_raw(&bits_[i], &DualRailChecker::on_rail_change);
+    bits_[i].f->subscribe_raw(&bits_[i], &DualRailChecker::on_rail_change);
   }
+}
+
+void DualRailChecker::on_rail_change(void* ctx, const sim::Wire&) {
+  auto* m = static_cast<BitMonitor*>(ctx);
+  m->owner->on_bit_change(m->index);
 }
 
 void DualRailChecker::on_bit_change(std::size_t i) {

@@ -52,11 +52,18 @@ class DualRailChecker {
  private:
   void on_bit_change(std::size_t i);
 
+  /// Listener context for one bit: carries the owner and the bit index so
+  /// both rails can share the zero-allocation subscribe_raw path. Lives
+  /// in `bits_`, which is reserved up front — addresses stay stable.
   struct BitMonitor {
     sim::Wire* t;
     sim::Wire* f;
     RailState last = RailState::kNull;
+    DualRailChecker* owner = nullptr;
+    std::size_t index = 0;
   };
+
+  static void on_rail_change(void* ctx, const sim::Wire& w);
   std::vector<BitMonitor> bits_;
   std::uint64_t illegal_ = 0;
   std::uint64_t alternation_ = 0;

@@ -132,7 +132,7 @@ DualRailCounter::DualRailCounter(gates::Context& ctx, std::string name,
     latch_meter_ = ctx.meter->add(circuit_.name() + ".latch", 8.0 * bits);
     metered_ = true;
   }
-  done_wire_->on_change([this](const sim::Wire&) { on_done_change(); });
+  done_wire_->subscribe<&DualRailCounter::on_done_change>(this);
 }
 
 void DualRailCounter::start() {

@@ -7,7 +7,7 @@ namespace emc::async {
 HandshakeSource::HandshakeSource(gates::Context& ctx, std::string name,
                                  Channel ch)
     : ctx_(&ctx), name_(std::move(name)), ch_(ch) {
-  ch_.ack->on_change([this](const sim::Wire&) { on_ack(); });
+  ch_.ack->subscribe<&HandshakeSource::on_ack>(this);
 }
 
 void HandshakeSource::start(std::uint64_t cycles,
@@ -45,7 +45,7 @@ HandshakeSink::HandshakeSink(gates::Context& ctx, std::string name,
                              Channel ch, double delay_stages)
     : ctx_(&ctx), ch_(ch), delay_stages_(delay_stages) {
   (void)name;
-  ch_.req->on_change([this](const sim::Wire&) { on_req(); });
+  ch_.req->subscribe<&HandshakeSink::on_req>(this);
 }
 
 void HandshakeSink::on_req() {

@@ -8,11 +8,18 @@ namespace emc::device {
 double DelayModel::drive_current(double vdd, double vth_offset,
                                  double strength) const {
   const double vth = tech_.vth_logic + vth_offset + tech_.corner_vth_shift;
-  const double two_n_vt = 2.0 * tech_.subthreshold_n * tech_.thermal_vt;
-  const double x = (vdd - vth) / two_n_vt;
-  // ln(1+exp(x)) evaluated without overflow for large x.
-  const double soft = x > 30.0 ? x : std::log1p(std::exp(x));
-  return tech_.specific_current * tech_.corner_drive * strength * soft * soft;
+  // Threshold shift and strength factor out of the transcendental, so the
+  // shared 1-D table covers every (vth, strength) combination.
+  return tech_.specific_current * tech_.corner_drive * strength *
+         table_->soft_square(vdd - vth);
+}
+
+double DelayModel::drive_current_exact(double vdd, double vth_offset,
+                                       double strength) const {
+  const double vth = tech_.vth_logic + vth_offset + tech_.corner_vth_shift;
+  return tech_.specific_current * tech_.corner_drive * strength *
+         DelayTable::soft_square_exact(vdd - vth, 2.0 * tech_.subthreshold_n *
+                                                      tech_.thermal_vt);
 }
 
 double DelayModel::delay_seconds(double vdd, double cload, double vth_offset,

@@ -14,8 +14,17 @@
 // Delay of a gate driving capacitance C:  t = C * V / I(V).
 // Dynamic energy per output transition:   E = C * V^2 (drawn from the
 // supply as charge Q = C * V at voltage V).
+//
+// Hot-path note: the ln^2(1+exp(...)) kernel is memoized in a shared
+// device::DelayTable (monotone cubic interpolation on a quantized grid,
+// exact-EKV fallback outside it — see delay_table.hpp for the accuracy
+// contract). drive_current_exact() bypasses the table for accuracy
+// tests and calibration.
 #pragma once
 
+#include <memory>
+
+#include "device/delay_table.hpp"
 #include "device/tech.hpp"
 #include "sim/time.hpp"
 
@@ -23,15 +32,25 @@ namespace emc::device {
 
 class DelayModel {
  public:
-  explicit DelayModel(const Tech& tech) : tech_(tech) {}
+  explicit DelayModel(const Tech& tech)
+      : tech_(tech), table_(DelayTable::shared_for(tech)) {}
 
   const Tech& tech() const { return tech_; }
+
+  /// The shared memoization table behind drive_current().
+  const DelayTable& table() const { return *table_; }
 
   /// EKV drive current at supply voltage `vdd` for a device whose
   /// effective threshold is `vth_logic + vth_offset` [A].
   /// `strength` is a drive-width multiplier (1.0 = minimum device).
+  /// Memoized via the shared DelayTable.
   double drive_current(double vdd, double vth_offset = 0.0,
                        double strength = 1.0) const;
+
+  /// Same quantity evaluated with the exact EKV transcendental (no
+  /// table) — the reference for DelayTable accuracy tests.
+  double drive_current_exact(double vdd, double vth_offset = 0.0,
+                             double strength = 1.0) const;
 
   /// Propagation delay of a gate with load `cload` [F] at `vdd` [s].
   /// Returns +inf below the operating limit.
@@ -74,6 +93,7 @@ class DelayModel {
 
  private:
   Tech tech_;
+  std::shared_ptr<const DelayTable> table_;
 };
 
 }  // namespace emc::device

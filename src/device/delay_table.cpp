@@ -1,0 +1,55 @@
+#include "device/delay_table.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+namespace emc::device {
+
+namespace {
+
+/// dg/dx = 2 * ln(1+e^u) * sigmoid(u) / (2 n VT).
+double soft_square_slope(double x, double two_n_vt) {
+  const double u = x / two_n_vt;
+  const double s = u > 30.0 ? u : std::log1p(std::exp(u));
+  const double sigmoid = 1.0 / (1.0 + std::exp(-u));
+  return 2.0 * s * sigmoid / two_n_vt;
+}
+
+}  // namespace
+
+DelayTable::DelayTable(double two_n_vt)
+    : two_n_vt_(two_n_vt), inv_step_(1.0 / kStepV) {
+  const auto n =
+      static_cast<std::size_t>((kXHi - kXLo) * inv_step_ + 0.5) + 1;
+  nodes_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = kXLo + static_cast<double>(i) * kStepV;
+    nodes_[i].g = soft_square_exact(x, two_n_vt_);
+    nodes_[i].d = soft_square_slope(x, two_n_vt_);
+  }
+  // Fritsch–Carlson monotonicity limiter: node slopes must not exceed 3x
+  // the adjacent secant slopes. For this convex monotone g the analytic
+  // slopes already satisfy the bound; the clamp is insurance against
+  // pathological (tiny n*VT) parameterizations.
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double secant = (nodes_[i + 1].g - nodes_[i].g) * inv_step_;
+    const double cap = 3.0 * std::max(secant, 0.0);
+    nodes_[i].d = std::min(nodes_[i].d, cap);
+    nodes_[i + 1].d = std::min(nodes_[i + 1].d, cap);
+  }
+}
+
+std::shared_ptr<const DelayTable> DelayTable::shared_for(const Tech& tech) {
+  static std::mutex mu;
+  static std::map<double, std::shared_ptr<const DelayTable>> cache;
+  const double key = 2.0 * tech.subthreshold_n * tech.thermal_vt;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, std::make_shared<const DelayTable>(key)).first;
+  }
+  return it->second;
+}
+
+}  // namespace emc::device

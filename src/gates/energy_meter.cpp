@@ -9,6 +9,7 @@ EnergyMeter::EnergyMeter(sim::Kernel& kernel, const device::Tech& tech,
 EnergyMeter::GateId EnergyMeter::add(std::string name, double leak_width) {
   gates_.push_back(Entry{std::move(name), leak_width});
   total_leak_width_ += leak_width;
+  leak_epoch_ = 0;  // leakage power scales with total width
   return gates_.size() - 1;
 }
 
@@ -25,8 +26,13 @@ void EnergyMeter::integrate_leakage() {
   const sim::Time now = kernel_->now();
   if (now <= last_leak_integration_) return;
   if (supply_ != nullptr && total_leak_width_ > 0.0) {
+    const std::uint64_t epoch = supply_->voltage_epoch();
+    if (epoch != leak_epoch_) {
+      leak_epoch_ = epoch;
+      leak_power_w_ = leakage_.power(supply_->voltage(), total_leak_width_);
+    }
     const double dt = sim::to_seconds(now - last_leak_integration_);
-    leakage_j_ += leakage_.energy(supply_->voltage(), total_leak_width_, dt);
+    leakage_j_ += leak_power_w_ * dt;
   }
   last_leak_integration_ = now;
 }

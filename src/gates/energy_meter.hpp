@@ -75,6 +75,11 @@ class EnergyMeter {
   device::LeakageModel leakage_;
   supply::Supply* supply_;
   std::vector<Entry> gates_;
+  // Memoized leakage power at the current supply state: leakage energy is
+  // linear in dt at fixed voltage, so the exp() inside LeakageModel runs
+  // only when Supply::voltage_epoch() advances or a gate registers.
+  std::uint64_t leak_epoch_ = 0;       // 0 = cache invalid
+  double leak_power_w_ = 0.0;
   double total_leak_width_ = 0.0;
   std::uint64_t total_transitions_ = 0;
   double dynamic_j_ = 0.0;

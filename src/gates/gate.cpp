@@ -23,7 +23,7 @@ Gate::Gate(Context& ctx, std::string name, sim::Wire& out, double delay_stages,
 }
 
 void Gate::listen(sim::Wire& w) {
-  w.on_change([this](const sim::Wire&) { on_input_change(); });
+  w.subscribe<&Gate::on_input_change>(this);
 }
 
 void Gate::on_input_change() {
@@ -46,38 +46,35 @@ void Gate::on_input_change() {
 }
 
 void Gate::schedule_output(bool target) {
-  const double vdd = ctx_->supply.voltage();
-  if (!ctx_->model.operational(vdd)) {
+  const double c_inv = ctx_->model.tech().c_inv;
+  if (!drive_.refresh(*ctx_, cap_factor_ * c_inv * delay_stages_,
+                      cap_factor_ * c_inv, vth_offset_)) {
     stall_target_ = target;
     enter_stall();
     return;
   }
-  const sim::Time d = ctx_->model.delay(
-      vdd, cap_factor_ * ctx_->model.tech().c_inv * delay_stages_,
-      vth_offset_);
   pending_ = true;
   pending_value_ = target;
   const std::uint64_t gen = ++generation_;
-  ctx_->kernel.schedule(d, [this, target, gen] { apply_output(target, gen); });
+  ctx_->kernel.schedule(drive_.delay,
+                        [this, target, gen] { apply_output(target, gen); });
 }
 
 void Gate::apply_output(bool target, std::uint64_t generation) {
   if (!pending_ || generation != generation_) return;  // retracted
   pending_ = false;
-  const double vdd = ctx_->supply.voltage();
-  if (!ctx_->model.operational(vdd)) {
+  const double c_inv = ctx_->model.tech().c_inv;
+  if (!drive_.refresh(*ctx_, cap_factor_ * c_inv * delay_stages_,
+                      cap_factor_ * c_inv, vth_offset_)) {
     // Supply collapsed while the transition was in flight: the output
     // never made it; park and retry on recovery.
     stall_target_ = target;
     enter_stall();
     return;
   }
-  const double cload = cap_factor_ * ctx_->model.tech().c_inv;
-  ctx_->supply.draw(ctx_->model.switching_charge(vdd, cload),
-                    ctx_->model.switching_energy(vdd, cload));
+  ctx_->supply.draw(drive_.charge, drive_.energy);
   if (metered_) {
-    ctx_->meter->record_transition(meter_id_,
-                                   ctx_->model.switching_energy(vdd, cload));
+    ctx_->meter->record_transition(meter_id_, drive_.energy);
   }
   ++fires_;
   out_->set(target);

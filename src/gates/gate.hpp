@@ -38,6 +38,41 @@ struct Context {
   EnergyMeter* meter = nullptr;  ///< optional
 };
 
+/// Quasi-static drive cache shared by switching elements (Gate, Toggle):
+/// propagation delay and per-transition charge/energy at the supply
+/// state identified by Supply::voltage_epoch(). refresh() recomputes
+/// only when the epoch advances, so on a constant supply the delay
+/// model runs exactly once per element — the quasi-static approximation
+/// the Gate header documents, made explicit.
+struct DriveCache {
+  std::uint64_t epoch = 0;  ///< 0 = never computed (epochs start at 1)
+  bool operational = false;
+  sim::Time delay = 0;
+  double charge = 0.0;
+  double energy = 0.0;
+
+  /// Revalidate against the supply; returns `operational` at the
+  /// current voltage. `delay_cload` sizes the delay, `switch_cload` the
+  /// per-transition charge/energy.
+  bool refresh(const Context& ctx, double delay_cload, double switch_cload,
+               double vth_offset) {
+    const std::uint64_t e = ctx.supply.voltage_epoch();
+    if (e == epoch) return operational;
+    epoch = e;
+    const double vdd = ctx.supply.voltage();
+    operational = ctx.model.operational(vdd);
+    if (!operational) return false;
+    delay = ctx.model.delay(vdd, delay_cload, vth_offset);
+    charge = ctx.model.switching_charge(vdd, switch_cload);
+    energy = ctx.model.switching_energy(vdd, switch_cload);
+    return true;
+  }
+
+  /// Force the next refresh() to recompute (e.g. the element's own
+  /// parameters changed).
+  void invalidate() { epoch = 0; }
+};
+
 class Gate {
  public:
   /// `delay_stages` — delay in units of a reference inverter (a complex
@@ -66,7 +101,10 @@ class Gate {
 
   /// Per-instance threshold mismatch accessor (Monte-Carlo analyses).
   double vth_offset() const { return vth_offset_; }
-  void set_vth_offset(double v) { vth_offset_ = v; }
+  void set_vth_offset(double v) {
+    vth_offset_ = v;
+    drive_.invalidate();  // delay depends on vth
+  }
 
  protected:
   /// Compute the target output value from the current input values.
@@ -103,6 +141,7 @@ class Gate {
   bool stalled_ = false;
   bool stall_target_ = false;
   std::uint64_t fires_ = 0;
+  DriveCache drive_;
 };
 
 }  // namespace emc::gates

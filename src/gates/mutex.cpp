@@ -15,8 +15,8 @@ Mutex::Mutex(Context& ctx, std::string name, sim::Wire& r1, sim::Wire& r2,
     meter_id_ = ctx_->meter->add(name_, 10.0);
     metered_ = true;
   }
-  r1.on_change([this](const sim::Wire&) { update(); });
-  r2.on_change([this](const sim::Wire&) { update(); });
+  r1.subscribe<&Mutex::update>(this);
+  r2.subscribe<&Mutex::update>(this);
 }
 
 double Mutex::tau_seconds(const device::DelayModel& model, double vdd) {

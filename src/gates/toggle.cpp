@@ -13,7 +13,7 @@ Toggle::Toggle(Context& ctx, std::string name, sim::Wire& in, sim::Wire& dot,
     meter_id_ = ctx_->meter->add(name_, kLeakWidth);
     metered_ = true;
   }
-  in.on_change([this](const sim::Wire&) { on_input(); });
+  in.subscribe<&Toggle::on_input>(this);
   ctx_->supply.on_wake([this] {
     if (stalled_) retry();
   });
@@ -26,30 +26,27 @@ void Toggle::on_input() {
 
 void Toggle::try_fire() {
   if (unserved_ == 0) return;
-  const double vdd = ctx_->supply.voltage();
-  if (!ctx_->model.operational(vdd)) {
+  const double c_inv = ctx_->model.tech().c_inv;
+  if (!drive_.refresh(*ctx_, c_inv * kDelayStages, kCapFactor * c_inv,
+                      vth_offset_)) {
     enter_stall();
     return;
   }
-  const sim::Time d = ctx_->model.delay(
-      vdd, ctx_->model.tech().c_inv * kDelayStages, vth_offset_);
   in_flight_ = true;
-  ctx_->kernel.schedule(d, [this] { apply(); });
+  ctx_->kernel.schedule(drive_.delay, [this] { apply(); });
 }
 
 void Toggle::apply() {
   in_flight_ = false;
-  const double vdd = ctx_->supply.voltage();
-  if (!ctx_->model.operational(vdd)) {
+  const double c_inv = ctx_->model.tech().c_inv;
+  if (!drive_.refresh(*ctx_, c_inv * kDelayStages, kCapFactor * c_inv,
+                      vth_offset_)) {
     enter_stall();
     return;
   }
-  const double cload = kCapFactor * ctx_->model.tech().c_inv;
-  ctx_->supply.draw(ctx_->model.switching_charge(vdd, cload),
-                    ctx_->model.switching_energy(vdd, cload));
+  ctx_->supply.draw(drive_.charge, drive_.energy);
   if (metered_) {
-    ctx_->meter->record_transition(meter_id_,
-                                   ctx_->model.switching_energy(vdd, cload));
+    ctx_->meter->record_transition(meter_id_, drive_.energy);
   }
   --unserved_;
   ++fires_;

@@ -63,6 +63,7 @@ class Toggle {
   bool phase_dot_ = true;  ///< which output moves next
   bool stalled_ = false;
   std::uint64_t fires_ = 0;
+  DriveCache drive_;
 };
 
 }  // namespace emc::gates

@@ -40,6 +40,15 @@ class Kernel {
                  : 0.0;
     }
 
+    /// Aggregation over independent kernels (sweep reporting). Counters
+    /// and wall time sum. The two sizes deliberately differ:
+    ///  * peak_queue_depth takes the MAX — kernels run one-at-a-time per
+    ///    worker, so the depth any single scenario reached is the figure
+    ///    that bounds per-kernel memory; summing would overstate it.
+    ///  * slab_capacity SUMS — each kernel owns its slab, so the total is
+    ///    the aggregate slot footprint the sweep allocated across all
+    ///    scenarios.
+    /// Semantics are pinned by sim_test.cpp (StatsAggregationSemantics).
     Stats& operator+=(const Stats& o) {
       events_executed += o.events_executed;
       events_scheduled += o.events_scheduled;

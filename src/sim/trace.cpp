@@ -21,10 +21,15 @@ std::string VcdWriter::id_for(std::size_t index) {
 
 void VcdWriter::add(Wire& wire) {
   const std::size_t channel = channels_.size();
-  channels_.push_back(Channel{id_for(channel), wire.name(), wire.read()});
-  wire.on_change([this, channel, &wire](const Wire&) {
-    record(channel, wire.read(), wire.kernel().now());
-  });
+  channels_.push_back(
+      Channel{id_for(channel), wire.name(), wire.read(), this, channel});
+  // &channels_.back() stays valid: channels_ is a deque.
+  wire.subscribe_raw(&channels_.back(), &VcdWriter::on_wire_change);
+}
+
+void VcdWriter::on_wire_change(void* ctx, const Wire& w) {
+  auto* ch = static_cast<Channel*>(ctx);
+  ch->owner->record(ch->index, w.read(), w.kernel().now());
 }
 
 void VcdWriter::record(std::size_t channel, bool value, Time t) {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <fstream>
 #include <string>
 #include <utility>
@@ -37,18 +38,24 @@ class VcdWriter {
   std::uint64_t changes_recorded() const { return changes_; }
 
  private:
+  /// One attached wire. Also the zero-allocation listener context handed
+  /// to Wire::subscribe_raw, so it carries a back-pointer to the writer;
+  /// channels_ is a deque to keep these addresses stable across add().
   struct Channel {
     std::string id;     // VCD short identifier
     std::string name;   // human name from the signal
     bool last;
+    VcdWriter* owner = nullptr;
+    std::size_t index = 0;
   };
 
   void record(std::size_t channel, bool value, Time t);
+  static void on_wire_change(void* ctx, const Wire& w);
   static std::string id_for(std::size_t index);
 
   std::string path_;
   std::ofstream out_;
-  std::vector<Channel> channels_;
+  std::deque<Channel> channels_;
   std::vector<std::pair<Time, std::string>> body_;  // buffered changes
   Time last_time_ = kTimeMax;
   std::uint64_t changes_ = 0;

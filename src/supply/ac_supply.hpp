@@ -22,7 +22,9 @@ class AcSupply final : public Supply {
         amplitude_(amplitude_v),
         frequency_(frequency_hz),
         rectified_(rectified),
-        period_(sim::from_seconds(1.0 / frequency_hz)) {}
+        period_(sim::from_seconds(1.0 / frequency_hz)) {
+    set_time_varying_voltage();
+  }
 
   double voltage() const override { return voltage_at(kernel().now()); }
 

@@ -11,6 +11,7 @@ PiecewiseSupply::PiecewiseSupply(
     : Supply(kernel, std::move(name)),
       points_(std::move(points)),
       retry_hint_(retry_hint) {
+  set_time_varying_voltage();
   assert(!points_.empty() && "profile needs at least one breakpoint");
   assert(std::is_sorted(points_.begin(), points_.end(),
                         [](const auto& a, const auto& b) {

@@ -24,7 +24,10 @@ class Battery final : public Supply {
   double voltage() const override { return volts_; }
 
   /// Model a (slow) externally-commanded level change, e.g. DVFS.
-  void set_voltage(double volts) { volts_ = volts; }
+  void set_voltage(double volts) {
+    volts_ = volts;
+    bump_voltage_epoch();
+  }
 
  private:
   double volts_;
@@ -38,7 +41,9 @@ class WaveformSupply final : public Supply {
                  sim::Time retry_hint = sim::us(1))
       : Supply(kernel, std::move(name)),
         waveform_(std::move(waveform)),
-        retry_hint_(retry_hint) {}
+        retry_hint_(retry_hint) {
+    set_time_varying_voltage();
+  }
 
   double voltage() const override { return waveform_(kernel().now()); }
 

@@ -6,11 +6,16 @@ namespace emc::supply {
 
 DcdcConverter::DcdcConverter(sim::Kernel& kernel, std::string name,
                              StorageCap& input, DcdcParams params)
-    : Supply(kernel, std::move(name)), input_(&input), params_(params) {}
+    : Supply(kernel, std::move(name)), input_(&input), params_(params) {
+  // Brown-out (and recovery) tracks the input store's voltage; chaining
+  // the epoch makes every input draw/deposit invalidate load caches.
+  set_voltage_epoch_parent(&input);
+}
 
 void DcdcConverter::start() {
   if (running_) return;
   running_ = true;
+  bump_voltage_epoch();
   kernel().schedule(params_.housekeeping_tick, [this] { housekeeping(); });
 }
 

@@ -43,7 +43,10 @@ class DcdcConverter final : public Supply {
   sim::Time retry_hint() const override { return params_.housekeeping_tick; }
 
   void start();
-  void stop() { running_ = false; }
+  void stop() {
+    running_ = false;
+    bump_voltage_epoch();
+  }
 
   const DcdcParams& params() const { return params_; }
   double conversion_loss_j() const { return loss_j_; }

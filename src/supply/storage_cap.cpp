@@ -19,6 +19,7 @@ StorageCap::StorageCap(sim::Kernel& kernel, std::string name,
 void StorageCap::draw(double charge, double energy) {
   Supply::draw(charge, energy);
   charge_ = std::max(0.0, charge_ - charge);
+  bump_voltage_epoch();
   record();
 }
 
@@ -29,6 +30,7 @@ double StorageCap::deposit_energy(double joules) {
     const double e_before = stored_energy();
     charge_ = std::sqrt(charge_ * charge_ + 2.0 * capacitance_ * joules);
     clamp(e_before + joules);
+    bump_voltage_epoch();
     record();
     const double after = voltage();
     if (before < wake_threshold_ && after >= wake_threshold_) fire_wake();
@@ -44,6 +46,7 @@ void StorageCap::deposit_charge(double coulombs) {
   charge_ = std::max(0.0, charge_ + dq);
   // Energy notionally added at the mean voltage of the transfer.
   clamp(e_before + std::max(0.0, dq) * 0.5 * (before + voltage()));
+  bump_voltage_epoch();
   record();
   const double after = voltage();
   if (before < wake_threshold_ && after >= wake_threshold_) fire_wake();

@@ -55,12 +55,46 @@ class Supply {
   /// to power the load again (e.g. a storage capacitor recharged).
   void on_wake(sim::Action fn) { wake_listeners_.push_back(std::move(fn)); }
 
+  /// Monotone counter identifying the supply's voltage state: equal
+  /// return values from two calls guarantee voltage() was unchanged in
+  /// between. Gates and meters key their quasi-static caches on it —
+  /// delay/energy are recomputed only when this advances, which is the
+  /// quasi-static approximation the Gate header documents made explicit.
+  /// Subclasses whose voltage changes by *action* (draws, deposits,
+  /// commanded level changes) call bump_voltage_epoch(); subclasses whose
+  /// voltage is a function of *time* (AC, waveform) mark themselves
+  /// time-varying, advancing the epoch whenever simulation time has;
+  /// regulated converters chain to their input via an epoch parent.
+  std::uint64_t voltage_epoch() const {
+    if (time_varying_ && kernel_->now() != epoch_time_) {
+      epoch_time_ = kernel_->now();
+      ++epoch_;
+    }
+    std::uint64_t e = epoch_;
+    if (epoch_parent_ != nullptr) e += epoch_parent_->voltage_epoch();
+    return e;
+  }
+
   /// Cumulative bookkeeping.
   double total_charge_drawn() const { return total_charge_; }
   double total_energy_drawn() const { return total_energy_; }
   std::uint64_t draw_count() const { return draw_count_; }
 
  protected:
+  /// Record that voltage() may now return a different value (see
+  /// voltage_epoch). Cheap enough to call unconditionally from draw().
+  void bump_voltage_epoch() { ++epoch_; }
+
+  /// Declare voltage() a function of simulation time (AC/waveform
+  /// supplies): every new timestamp invalidates quasi-static caches.
+  void set_time_varying_voltage() { time_varying_ = true; }
+
+  /// Chain this supply's epoch to the supply it regulates from: any
+  /// voltage change of `parent` invalidates this supply's consumers too.
+  void set_voltage_epoch_parent(const Supply* parent) {
+    epoch_parent_ = parent;
+  }
+
   void fire_wake() {
     // A listener may call on_wake() from inside its own callback (the
     // scheduler re-arms itself when it stalls again mid-wake). Walking
@@ -80,6 +114,12 @@ class Supply {
   sim::Kernel* kernel_;
   std::string name_;
   std::vector<sim::Action> wake_listeners_;
+  const Supply* epoch_parent_ = nullptr;
+  // mutable: voltage_epoch() lazily folds the advancing clock into the
+  // counter for time-varying supplies; a Kernel is single-threaded.
+  mutable std::uint64_t epoch_ = 1;
+  mutable sim::Time epoch_time_ = 0;
+  bool time_varying_ = false;
   double total_charge_ = 0.0;
   double total_energy_ = 0.0;
   std::uint64_t draw_count_ = 0;

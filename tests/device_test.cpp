@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "device/delay_model.hpp"
+#include "device/delay_table.hpp"
 #include "device/leakage.hpp"
 #include "device/tech.hpp"
 
@@ -134,6 +135,79 @@ TEST_P(DelaySmoothness, LocalRatioBounded) {
 INSTANTIATE_TEST_SUITE_P(VddSweep, DelaySmoothness,
                          ::testing::Values(0.15, 0.20, 0.25, 0.30, 0.35,
                                            0.40, 0.50, 0.60, 0.80, 1.00));
+
+// --- DelayTable (memoized EKV) accuracy contract -----------------------
+
+TEST_F(DelayModelTest, TableMatchesExactEkvWithinContract) {
+  // Documented contract: table-memoized drive current within 0.1% of the
+  // exact EKV expression across the full operating range, including the
+  // sub-threshold / strong-inversion crossover around Vdd = Vth. The
+  // sweep also exercises threshold shifts (SRAM cell stack, mismatch)
+  // and non-unit strength, which factor out of the memoized kernel.
+  for (double v = 0.15; v <= 1.1 + 1e-9; v += 0.001) {
+    for (double vth_off : {0.0, tech.vth_cell_extra, -0.08, 0.12}) {
+      for (double strength : {1.0, 0.5, 7.3}) {
+        const double exact = model.drive_current_exact(v, vth_off, strength);
+        const double table = model.drive_current(v, vth_off, strength);
+        EXPECT_NEAR(table / exact, 1.0, 1e-3)
+            << "v=" << v << " vth_off=" << vth_off << " s=" << strength;
+      }
+    }
+  }
+}
+
+TEST_F(DelayModelTest, TableAccuracyAtSubthresholdCrossover) {
+  // Tight scan of the crossover decade (Vdd near Vth = 0.35 V), where
+  // the EKV curve bends hardest; the Hermite grid is orders of magnitude
+  // inside the contract here.
+  for (double v = 0.25; v <= 0.45 + 1e-9; v += 0.0001) {
+    const double exact = model.drive_current_exact(v);
+    const double table = model.drive_current(v);
+    EXPECT_NEAR(table / exact, 1.0, 1e-6) << "v=" << v;
+  }
+}
+
+TEST_F(DelayModelTest, TableDelayBelowVminOperateIsInfinite) {
+  // The table accelerates drive_current only; the operating-limit
+  // behaviour of delay_seconds is unchanged by memoization.
+  EXPECT_TRUE(std::isinf(
+      model.delay_seconds(tech.vmin_operate - 0.001, tech.c_inv)));
+  EXPECT_TRUE(std::isfinite(
+      model.delay_seconds(tech.vmin_operate, tech.c_inv)));
+  EXPECT_EQ(model.delay(0.10, tech.c_inv), sim::kTimeMax);
+}
+
+TEST_F(DelayModelTest, TableExactFallbackOutsideGrid) {
+  // Off-grid overdrives (x outside [kXLo, kXHi]) bypass the table and
+  // must agree with the exact expression to machine precision.
+  const DelayTable& t = model.table();
+  const double v_hi = tech.vth_logic + DelayTable::kXHi + 0.5;  // x > kXHi
+  EXPECT_FALSE(t.covers(v_hi - tech.vth_logic));
+  EXPECT_DOUBLE_EQ(model.drive_current(v_hi), model.drive_current_exact(v_hi));
+  const double v_lo = tech.vth_logic + DelayTable::kXLo - 0.2;  // x < kXLo
+  EXPECT_FALSE(t.covers(v_lo - tech.vth_logic));
+  EXPECT_DOUBLE_EQ(model.drive_current(v_lo), model.drive_current_exact(v_lo));
+}
+
+TEST_F(DelayModelTest, TableIsSharedAcrossModelsOfOneTech) {
+  // One process-wide table per 2*n*VT: corner/threshold variants of the
+  // same technology must not rebuild it.
+  DelayModel slow{Tech::umc90_slow()};
+  DelayModel fast{Tech::umc90_fast()};
+  EXPECT_EQ(&model.table(), &slow.table());
+  EXPECT_EQ(&model.table(), &fast.table());
+}
+
+TEST_F(DelayModelTest, TableInterpolationIsMonotone) {
+  // Monotone interpolation: sample between grid nodes at 10x the grid
+  // resolution and require strictly non-decreasing current.
+  double prev = model.drive_current(0.15);
+  for (double v = 0.15; v <= 1.1; v += DelayTable::kStepV / 10.0) {
+    const double i = model.drive_current(v);
+    EXPECT_GE(i, prev) << "v=" << v;
+    prev = i;
+  }
+}
 
 }  // namespace
 }  // namespace emc::device

@@ -412,5 +412,161 @@ TEST(Rng, ExponentialMeanRoughlyCorrect) {
   EXPECT_NEAR(sum / n, 2.0, 0.1);
 }
 
+// --- allocation-free listener dispatch ---------------------------------
+
+struct CountingListener {
+  int calls = 0;
+  void on_wire() { ++calls; }
+};
+
+TEST(SignalListeners, TypedSubscribeDispatches) {
+  Kernel k;
+  Wire w(k, "w", false);
+  CountingListener a;
+  w.subscribe<&CountingListener::on_wire>(&a);
+  w.set(true);
+  w.set(false);
+  EXPECT_EQ(a.calls, 2);
+}
+
+TEST(SignalListeners, RegistrationOrderPreserved) {
+  Kernel k;
+  Wire w(k, "w", false);
+  std::vector<int> order;
+  // Mix all three registration flavours and spill past the inline
+  // capacity (4 slots): delivery must stay in registration order.
+  struct Rec {
+    std::vector<int>* order;
+    int tag;
+    void fire() { order->push_back(tag); }
+  };
+  std::vector<Rec> recs;
+  recs.reserve(4);
+  for (int i = 0; i < 4; ++i) {
+    recs.push_back(Rec{&order, i});
+    w.subscribe<&Rec::fire>(&recs.back());
+  }
+  w.on_change([&order](const Wire&) { order.push_back(4); });
+  w.subscribe_raw(&order, [](void* ctx, const Wire&) {
+    static_cast<std::vector<int>*>(ctx)->push_back(5);
+  });
+  w.set(true);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(SignalListeners, SubscribeMidNotificationDoesNotInvalidateWalk) {
+  // The Supply::fire_wake bug class: a listener registering another
+  // listener while the walk is in progress must neither crash nor
+  // deliver the new listener for the in-flight change — even when the
+  // registration forces the inline array to spill to the vector.
+  Kernel k;
+  Wire w(k, "w", false);
+  std::vector<int> order;
+  std::function<void()> add_more;
+  w.on_change([&](const Wire&) {
+    order.push_back(0);
+    add_more();
+  });
+  w.on_change([&](const Wire&) { order.push_back(1); });
+  add_more = [&] {
+    for (int tag = 10; tag < 16; ++tag) {
+      w.on_change([&order, tag](const Wire&) { order.push_back(tag); });
+    }
+  };
+  w.set(true);
+  // In-flight walk saw only the two original listeners.
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  order.clear();
+  add_more = [] {};
+  w.set(false);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 10, 11, 12, 13, 14, 15}));
+}
+
+TEST(SignalListeners, SelfUnsubscribeMidNotificationIsSafe) {
+  // A one-shot probe removing itself from inside its own callback must
+  // neither destroy the closure it is executing (boxed listener) nor
+  // shift the walk so the next listener misses the in-flight change.
+  Kernel k;
+  Wire w(k, "w", false);
+  std::vector<int> order;
+  Subscription one_shot;
+  one_shot = w.on_change([&](const Wire&) {
+    order.push_back(0);
+    w.unsubscribe(one_shot);
+    order.push_back(0);  // closure must still be alive here
+  });
+  w.on_change([&order](const Wire&) { order.push_back(1); });
+  w.set(true);
+  EXPECT_EQ(order, (std::vector<int>{0, 0, 1}));
+  EXPECT_EQ(w.listener_count(), 1u);
+  order.clear();
+  w.set(false);
+  EXPECT_EQ(order, (std::vector<int>{1}));
+}
+
+TEST(SignalListeners, UnsubscribeRemovesAndPreservesOrder) {
+  Kernel k;
+  Wire w(k, "w", false);
+  std::vector<int> order;
+  auto tagger = [&order](int tag) {
+    return [&order, tag](const Wire&) { order.push_back(tag); };
+  };
+  Subscription s0 = w.on_change(tagger(0));
+  Subscription s1 = w.on_change(tagger(1));
+  Subscription s2 = w.on_change(tagger(2));
+  EXPECT_TRUE(s0.active() && s1.active() && s2.active());
+  EXPECT_EQ(w.listener_count(), 3u);
+  w.unsubscribe(s1);
+  EXPECT_EQ(w.listener_count(), 2u);
+  w.set(true);
+  EXPECT_EQ(order, (std::vector<int>{0, 2}));
+  w.unsubscribe(s1);  // double-remove is a no-op
+  w.unsubscribe(Subscription{});
+  EXPECT_EQ(w.listener_count(), 2u);
+  w.unsubscribe(s0);
+  w.unsubscribe(s2);
+  order.clear();
+  w.set(false);
+  EXPECT_TRUE(order.empty());
+}
+
+// --- Kernel::Stats aggregation semantics --------------------------------
+
+TEST(KernelStats, AggregationSemantics) {
+  // Sweeps sum per-kernel stats with operator+=. Counters and wall time
+  // are additive; peak_queue_depth takes the max (deepest any single
+  // kernel got — the per-kernel memory bound); slab_capacity sums (each
+  // kernel owns a slab, so the sweep's aggregate footprint adds).
+  Kernel::Stats a;
+  a.events_executed = 100;
+  a.events_scheduled = 120;
+  a.peak_queue_depth = 7;
+  a.slab_capacity = 16;
+  a.wall_seconds = 0.5;
+  Kernel::Stats b;
+  b.events_executed = 50;
+  b.events_scheduled = 60;
+  b.peak_queue_depth = 3;
+  b.slab_capacity = 8;
+  b.wall_seconds = 0.25;
+
+  Kernel::Stats sum;
+  sum += a;
+  sum += b;
+  EXPECT_EQ(sum.events_executed, 150u);
+  EXPECT_EQ(sum.events_scheduled, 180u);
+  EXPECT_EQ(sum.peak_queue_depth, 7u);  // max, not 10
+  EXPECT_EQ(sum.slab_capacity, 24u);    // sum, not max
+  EXPECT_DOUBLE_EQ(sum.wall_seconds, 0.75);
+
+  // Max is order-independent: folding the deeper kernel in last must
+  // give the same aggregate.
+  Kernel::Stats rev;
+  rev += b;
+  rev += a;
+  EXPECT_EQ(rev.peak_queue_depth, 7u);
+  EXPECT_EQ(rev.slab_capacity, 24u);
+}
+
 }  // namespace
 }  // namespace emc::sim

@@ -209,5 +209,48 @@ TEST(Mppt, ConvergesNearMaximumPowerPoint) {
   EXPECT_GT(mppt.steps_taken(), 10u);
 }
 
+// --- voltage epoch (quasi-static cache invalidation) --------------------
+
+TEST(VoltageEpoch, BatteryAdvancesOnlyOnCommandedChange) {
+  sim::Kernel k;
+  Battery b(k, "bat", 1.0);
+  const std::uint64_t e0 = b.voltage_epoch();
+  b.draw(1e-12, 1e-12);  // draws don't move an ideal battery
+  EXPECT_EQ(b.voltage_epoch(), e0);
+  b.set_voltage(0.8);
+  EXPECT_GT(b.voltage_epoch(), e0);
+}
+
+TEST(VoltageEpoch, StorageCapAdvancesOnDrawAndDeposit) {
+  sim::Kernel k;
+  StorageCap cap(k, "cap", 1e-9, 1.0);
+  const std::uint64_t e0 = cap.voltage_epoch();
+  cap.draw(1e-12, 1e-12);
+  const std::uint64_t e1 = cap.voltage_epoch();
+  EXPECT_GT(e1, e0);
+  cap.deposit_energy(1e-12);
+  EXPECT_GT(cap.voltage_epoch(), e1);
+}
+
+TEST(VoltageEpoch, AcSupplyAdvancesWithTime) {
+  sim::Kernel k;
+  AcSupply ac(k, "ac", 0.2, 0.1, 1e6);
+  const std::uint64_t e0 = ac.voltage_epoch();
+  EXPECT_EQ(ac.voltage_epoch(), e0);  // same timestamp: stable
+  k.schedule(sim::ns(5), [] {});
+  k.run();
+  EXPECT_GT(ac.voltage_epoch(), e0);
+}
+
+TEST(VoltageEpoch, DcdcChainsToItsInputStore) {
+  sim::Kernel k;
+  StorageCap store(k, "store", 1e-6, 1.0);
+  DcdcConverter dcdc(k, "dcdc", store, DcdcParams{});
+  dcdc.start();
+  const std::uint64_t e0 = dcdc.voltage_epoch();
+  store.draw(1e-9, 1e-9);  // input-side change must reach load caches
+  EXPECT_GT(dcdc.voltage_epoch(), e0);
+}
+
 }  // namespace
 }  // namespace emc::supply
