@@ -2,15 +2,14 @@
 //
 // fixed inverter replica vs banded replicas (needs a voltage reference)
 // vs duplicated-column "smart latency bundling" vs genuine completion
-// detection: failure onset and timing overhead of each.
+// detection: failure onset and timing overhead of each. The schemes are
+// a typed string grid on the exp::Workbench; each scenario elaborates
+// its own battery context from an exp::ContextConfig.
 #include <cstdio>
 
-#include "analysis/sweep.hpp"
-#include "analysis/table.hpp"
-#include "device/delay_model.hpp"
-#include "gates/energy_meter.hpp"
+#include "exp/context_config.hpp"
+#include "exp/workbench.hpp"
 #include "sram/bundled_sram.hpp"
-#include "supply/battery.hpp"
 
 int main() {
   using namespace emc;
@@ -18,42 +17,51 @@ int main() {
       "Ablation — SRAM timing schemes: replica variants vs completion "
       "detection");
 
-  sim::Kernel kernel;
-  device::DelayModel model{device::Tech::umc90()};
-  supply::Battery bat(kernel, "vdd", 1.0);
-  gates::EnergyMeter meter(kernel, device::Tech::umc90(), &bat);
-  gates::Context ctx{kernel, model, bat, &meter};
+  exp::Workbench wb("abl_bundling_schemes");
+  wb.grid().over("scheme", std::vector<std::string>{
+                               "fixed-replica", "banded-replica",
+                               "column-replica [8]",
+                               "completion detection [7]"});
+  wb.columns({"scheme", "fails_below_V", "wait_overhead_1V",
+              "wait_overhead_0.3V", "needs_reference"});
+  double fixed_onset = 0.0;
 
-  sram::BundledSramParams fixed;
-  sram::BundledSramParams banded;
-  banded.scheme = sram::BundlingScheme::kBandedReplica;
-  sram::BundledSramParams column;
-  column.scheme = sram::BundlingScheme::kColumnReplica;
-  sram::BundledSram s_fixed(ctx, "fixed", fixed);
-  sram::BundledSram s_banded(ctx, "banded", banded);
-  sram::BundledSram s_column(ctx, "column", column);
-
-  analysis::Table table({"scheme", "fails_below_V", "wait_overhead_1V",
-                         "wait_overhead_0.3V", "needs_reference"});
-  auto overhead = [&](sram::BundledSram& s, double v) {
-    return s.replica_delay_s(v) / s.true_read_delay_s(v);
-  };
-  table.add_row({"fixed-replica",
-                 analysis::Table::num(s_fixed.failure_onset_vdd(), 3),
-                 analysis::Table::num(overhead(s_fixed, 1.0), 3),
-                 analysis::Table::num(overhead(s_fixed, 0.3), 3), "no"});
-  table.add_row({"banded-replica",
-                 analysis::Table::num(s_banded.failure_onset_vdd(), 3),
-                 analysis::Table::num(overhead(s_banded, 1.0), 3),
-                 analysis::Table::num(overhead(s_banded, 0.3), 3),
-                 "YES (band select)"});
-  table.add_row({"column-replica [8]",
-                 analysis::Table::num(s_column.failure_onset_vdd(), 3),
-                 analysis::Table::num(overhead(s_column, 1.0), 3),
-                 analysis::Table::num(overhead(s_column, 0.3), 3), "no"});
-  table.add_row({"completion detection [7]", "never (tracks truth)", "1.0",
-                 "1.0", "no"});
-  table.print();
+  wb.run([&](const exp::ParamSet& p, exp::Recorder& rec) {
+    const std::string scheme = p.get<std::string>("scheme");
+    if (scheme == "completion detection [7]") {
+      // Not a replica: completion detection tracks the data itself, so
+      // its row is definitional rather than measured.
+      rec.row()
+          .set("scheme", scheme)
+          .set("fails_below_V", "never (tracks truth)")
+          .set("wait_overhead_1V", "1.0")
+          .set("wait_overhead_0.3V", "1.0")
+          .set("needs_reference", "no");
+      return;
+    }
+    sram::BundledSramParams params;
+    const char* needs_ref = "no";
+    if (scheme == "banded-replica") {
+      params.scheme = sram::BundlingScheme::kBandedReplica;
+      needs_ref = "YES (band select)";
+    } else if (scheme == "column-replica [8]") {
+      params.scheme = sram::BundlingScheme::kColumnReplica;
+    }
+    auto ex = exp::ContextConfig::battery(1.0).build();
+    sram::BundledSram s(ex.ctx(), "sram", params);
+    if (scheme == "fixed-replica") fixed_onset = s.failure_onset_vdd();
+    auto overhead = [&](double v) {
+      return s.replica_delay_s(v) / s.true_read_delay_s(v);
+    };
+    rec.row()
+        .set("scheme", scheme)
+        .set("fails_below_V", s.failure_onset_vdd(), 3)
+        .set("wait_overhead_1V", overhead(1.0), 3)
+        .set("wait_overhead_0.3V", overhead(0.3), 3)
+        .set("needs_reference", needs_ref);
+    rec.add_stats(ex.kernel().stats());
+  });
+  wb.table().print();
 
   std::printf(
       "\nThe fixed replica dies at %.2f V; banding survives lower but "
@@ -61,6 +69,6 @@ int main() {
       "column replica tracks but wastes a\ncolumn and still guards with "
       "margin. Genuine completion detection waits exactly\nas long as "
       "the data needs — at any voltage.\n",
-      s_fixed.failure_onset_vdd());
+      fixed_onset);
   return 0;
 }

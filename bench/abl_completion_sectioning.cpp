@@ -2,10 +2,11 @@
 //
 // "its low Vdd limit can be pushed further down in sub-threshold (below
 // 0.3V) by sectioning the completion detection in the column into smaller
-// segments, say, of 8 bit each."
+// segments, say, of 8 bit each." Section sizes form a typed integer grid
+// on the exp::Workbench.
 #include <cstdio>
 
-#include "analysis/table.hpp"
+#include "exp/workbench.hpp"
 #include "sram/failure.hpp"
 
 int main() {
@@ -13,19 +14,27 @@ int main() {
   analysis::print_banner(
       "Ablation — completion-detection sectioning vs minimum read Vdd");
 
-  sram::FailureAnalysis fa;
-  const auto pts = fa.sectioning({64, 32, 16, 8, 4});
-  analysis::Table table({"cells_per_section", "min_read_vdd_V",
-                         "read_delay_at_0.3V_ns", "detector_overhead_x"});
-  for (const auto& p : pts) {
-    table.add_row({std::to_string(p.cells_per_section),
-                   analysis::Table::num(p.min_read_vdd, 4),
-                   analysis::Table::num(p.read_delay_03v_s * 1e9, 4),
-                   analysis::Table::num(p.completion_overhead_factor, 3)});
-  }
-  table.print();
+  exp::Workbench wb("abl_completion_sectioning");
+  wb.grid().over("cells_per_section", std::vector<int>{64, 32, 16, 8, 4});
+  wb.columns({"cells_per_section", "min_read_vdd_V", "read_delay_at_0.3V_ns",
+              "detector_overhead_x"});
+  std::vector<double> min_vdd(wb.grid().size());
+
+  wb.run([&](const exp::ParamSet& ps, exp::Recorder& rec) {
+    const int cells = ps.get<int>("cells_per_section");
+    sram::FailureAnalysis fa;
+    const auto pts = fa.sectioning({static_cast<std::size_t>(cells)});
+    const auto& p = pts.front();
+    min_vdd[rec.index()] = p.min_read_vdd;
+    rec.row()
+        .set("cells_per_section", std::to_string(p.cells_per_section))
+        .set("min_read_vdd_V", p.min_read_vdd, 4)
+        .set("read_delay_at_0.3V_ns", p.read_delay_03v_s * 1e9, 4)
+        .set("detector_overhead_x", p.completion_overhead_factor, 3);
+  });
+  wb.table().print();
   analysis::print_anchor("min Vdd with 8-cell sections (paper: below 0.3 V)",
-                         0.30, pts[3].min_read_vdd, "V");
+                         0.30, min_vdd[3], "V");
   std::printf(
       "\nMechanism: smaller sections mean less bit-line capacitance and "
       "fewer leaking\ncells per detector, so the cell current dominates "

@@ -5,36 +5,47 @@
 // off the sampled charge until the logic stalls; the accumulated code is
 // read from the flip-flop states. Also verifies the charge/transition
 // proportionality law the converter rests on.
+//
+// The host context is an exp::ContextConfig; the Vin points come from a
+// typed exp::Grid. Conversions share one kernel (the converter is a
+// persistent circuit), so the grid is walked serially rather than
+// through the Workbench pool.
 #include <cstdio>
 
 #include "analysis/csv.hpp"
 #include "analysis/stats.hpp"
 #include "analysis/table.hpp"
-#include "device/delay_model.hpp"
-#include "gates/energy_meter.hpp"
+#include "exp/context_config.hpp"
+#include "exp/workbench.hpp"
 #include "sensor/charge_to_digital.hpp"
-#include "supply/battery.hpp"
 
 int main() {
   using namespace emc;
   analysis::print_banner(
       "Fig. 11 — C2D converter: code vs sampled Vin (Csample = 100 pF)");
 
-  sim::Kernel kernel;
-  device::DelayModel model{device::Tech::umc90()};
-  supply::Battery host(kernel, "host", 1.0);
-  gates::EnergyMeter meter(kernel, device::Tech::umc90(), &host);
-  gates::Context ctx{kernel, model, host, &meter};
+  auto ex = exp::ContextConfig::with(
+                exp::SupplyConfig::battery(1.0).name("host"))
+                .build();
+  sim::Kernel& kernel = ex.kernel();
   sensor::C2dParams params;
   params.sample_cap_f = 100e-12;
-  sensor::ChargeToDigitalConverter c2d(ctx, "c2d", params);
+  sensor::ChargeToDigitalConverter c2d(ex.ctx(), "c2d", params);
+
+  exp::Grid grid;
+  {
+    std::vector<double> points;
+    for (double vin = 0.20; vin <= 1.001; vin += 0.05) points.push_back(vin);
+    grid.over("vin", points);
+  }
 
   analysis::Table table({"vin_V", "code", "transitions", "charge_nC",
                          "conv_time_us", "trans_per_nC"});
   analysis::CsvWriter csv({"vin_V", "code"});
   std::vector<double> vins;
   std::vector<double> codes;
-  for (double vin = 0.20; vin <= 1.001; vin += 0.05) {
+  for (const auto& p : grid.build()) {
+    const double vin = p.get<double>("vin");
     std::optional<sensor::ConversionResult> res;
     c2d.convert(vin, [&](const sensor::ConversionResult& r) { res = r; });
     kernel.run_until(kernel.now() + sim::ms(30));

@@ -4,17 +4,21 @@
 // freezes a thermometer code. Sweeps 0.19-1.0 V, calibrates, verifies on
 // an offset grid, and runs a Monte-Carlo mismatch analysis. Anchors:
 // works over 0.2-1 V; ~10 mV accuracy; codes are the Fig. 5 ratio.
+//
+// Each reading elaborates a fresh battery context from an
+// exp::ContextConfig; the calibration / verification grids are typed
+// exp::Grids. Readings are serial — the calibration table is built in
+// grid order.
 #include <cstdio>
 #include <optional>
 
 #include "analysis/csv.hpp"
 #include "analysis/stats.hpp"
 #include "analysis/table.hpp"
-#include "device/delay_model.hpp"
-#include "gates/energy_meter.hpp"
+#include "exp/context_config.hpp"
+#include "exp/workbench.hpp"
 #include "sensor/calibration.hpp"
 #include "sensor/reference_free.hpp"
-#include "supply/battery.hpp"
 
 namespace {
 
@@ -22,22 +26,26 @@ using namespace emc;
 
 std::optional<sensor::RefFreeReading> read_at(double vdd, int seed = 0,
                                               double sigma = 0.0) {
-  sim::Kernel kernel;
-  device::DelayModel model{device::Tech::umc90()};
-  supply::Battery bat(kernel, "vdd", vdd);
-  gates::EnergyMeter meter(kernel, device::Tech::umc90(), &bat);
-  gates::Context ctx{kernel, model, bat, &meter};
+  auto ex = exp::ContextConfig::battery(vdd).build();
   sensor::RefFreeParams p;
   sim::Rng rng(seed == 0 ? 1 : seed);
   if (sigma > 0.0) {
     p.ruler_vth_sigma = sigma;
     p.cell_vth_offset = rng.gaussian(0.0, sigma);
   }
-  sensor::ReferenceFreeSensor sensor(ctx, "rf", p,
+  sensor::ReferenceFreeSensor sensor(ex.ctx(), "rf", p,
                                      sigma > 0.0 ? &rng : nullptr);
   std::optional<sensor::RefFreeReading> out;
   sensor.measure([&](const sensor::RefFreeReading& r) { out = r; });
-  kernel.run_until(sim::ms(40));
+  ex.kernel().run_until(sim::ms(40));
+  return out;
+}
+
+// `lo` upward in `step` increments while <= hi (the benches' historic
+// accumulating-double loops, preserved bit-for-bit).
+std::vector<double> stepped(double lo, double hi, double step) {
+  std::vector<double> out;
+  for (double v = lo; v <= hi; v += step) out.push_back(v);
   return out;
 }
 
@@ -47,11 +55,15 @@ int main() {
   analysis::print_banner(
       "Fig. 12 — reference-free voltage sensor (SRAM vs inverter-chain race)");
 
+  exp::Grid cal_grid;
+  cal_grid.over("vdd", stepped(0.19, 1.001, 0.03));
+
   sensor::CalibrationTable table_lut;
   analysis::Table table({"vdd_V", "thermometer_code", "mV_per_code"});
   analysis::CsvWriter csv({"vdd_V", "code"});
   double prev_code = 0.0, prev_v = 0.0;
-  for (double v = 0.19; v <= 1.001; v += 0.03) {
+  for (const auto& p : cal_grid.build()) {
+    const double v = p.get<double>("vdd");
     const auto r = read_at(v);
     if (!r || !r->valid) {
       table.add_row({analysis::Table::num(v), "(not sensable)", "-"});
@@ -71,8 +83,11 @@ int main() {
   csv.write("fig12_refree.csv");
 
   // Accuracy: verify on an offset grid.
+  exp::Grid verify_grid;
+  verify_grid.over("vdd", stepped(0.215, 0.986, 0.045));
   std::vector<std::pair<double, double>> verification;
-  for (double v = 0.215; v <= 0.986; v += 0.045) {
+  for (const auto& p : verify_grid.build()) {
+    const double v = p.get<double>("vdd");
     const auto r = read_at(v);
     if (r && r->valid) verification.emplace_back(double(r->code), v);
   }

@@ -8,18 +8,15 @@
 // clocked curve needs a threshold quantum before any useful work appears.
 //
 // Each energy quantum is an independent scenario (own kernels, own
-// circuits) dispatched through the SweepRunner pool; set
-// EMC_SWEEP_THREADS to control parallelism.
+// circuits) described by a typed exp::ParamSet and dispatched through
+// the exp::Workbench grid; set EMC_SWEEP_THREADS to control parallelism.
 #include <cmath>
 #include <cstdio>
 #include <functional>
 
-#include "analysis/sweep_runner.hpp"
-#include "analysis/table.hpp"
 #include "async/pipeline.hpp"
-#include "device/delay_model.hpp"
-#include "gates/energy_meter.hpp"
-#include "supply/storage_cap.hpp"
+#include "exp/context_config.hpp"
+#include "exp/workbench.hpp"
 
 namespace {
 
@@ -32,31 +29,29 @@ struct EngineResult {
 
 // Self-timed: a Muller ring powered from a charged cap; ops until stall.
 EngineResult selftimed_ops(double energy_j) {
-  sim::Kernel kernel;
-  device::DelayModel model{device::Tech::umc90()};
   const double cap_f = 200e-12;
   const double v0 = std::sqrt(2.0 * energy_j / cap_f);
-  supply::StorageCap cap(kernel, "cap", cap_f, std::min(v0, 1.1));
-  gates::EnergyMeter meter(kernel, device::Tech::umc90(), &cap);
-  gates::Context ctx{kernel, model, cap, &meter};
-  async::MullerRing ring(ctx, "ring", 6, 2);
+  auto ex = exp::ContextConfig::with(
+                exp::SupplyConfig::storage_cap(cap_f, std::min(v0, 1.1)))
+                .build();
+  async::MullerRing ring(ex.ctx(), "ring", 6, 2);
   ring.start();
-  kernel.run_until(sim::ms(5));
-  return {ring.ops(), kernel.stats()};
+  ex.kernel().run_until(sim::ms(5));
+  return {ring.ops(), ex.kernel().stats()};
 }
 
 // Clocked-equivalent: same engine but a clock/idle overhead drains the
 // quantum at a fixed rate; work only proceeds while V stays above a
 // regulator floor of 0.5 V.
 EngineResult clocked_ops(double energy_j) {
-  sim::Kernel kernel;
-  device::DelayModel model{device::Tech::umc90()};
   const double cap_f = 200e-12;
   const double v0 = std::sqrt(2.0 * energy_j / cap_f);
-  supply::StorageCap cap(kernel, "cap", cap_f, std::min(v0, 1.1));
-  gates::EnergyMeter meter(kernel, device::Tech::umc90(), &cap);
-  gates::Context ctx{kernel, model, cap, &meter};
-  async::MullerRing ring(ctx, "ring", 6, 2);
+  auto ex = exp::ContextConfig::with(
+                exp::SupplyConfig::storage_cap(cap_f, std::min(v0, 1.1)))
+                .build();
+  sim::Kernel& kernel = ex.kernel();
+  supply::StorageCap& cap = *ex.store();
+  async::MullerRing ring(ex.ctx(), "ring", 6, 2);
   // Clock-tree overhead: drawn every 100 ns regardless of work.
   const double p_clock = 60e-6;  // 60 uW of clock + idle power
   std::function<void()> burn = [&] {
@@ -94,38 +89,36 @@ int main() {
       "Self-timed engine vs clocked-equivalent (fixed clock overhead, "
       "0.5 V regulator floor).\n\n");
 
-  const auto scenarios = analysis::scenarios_over(
-      "energy_nJ", {0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0});
+  exp::Workbench wb("fig1_proportionality");
+  wb.grid().over("energy_nJ",
+                 {0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0});
+  wb.columns({"energy_nJ", "selftimed_ops", "clocked_ops"});
 
   // Typed per-scenario results land in index slots (one writer per index);
   // the table rows come back through the runner in scenario order.
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> ops(scenarios.size());
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ops(wb.grid().size());
 
-  analysis::SweepRunner runner(
-      {"energy_nJ", "selftimed_ops", "clocked_ops"});
-  const auto report = runner.run(
-      scenarios, [&](const analysis::Scenario& s, std::size_t i) {
-        const double e_nj = s.param(0);
-        const EngineResult st = selftimed_ops(e_nj * 1e-9);
-        const EngineResult ck = clocked_ops(e_nj * 1e-9);
-        ops[i] = {st.ops, ck.ops};
-        analysis::ScenarioOutput out;
-        out.rows.push_back({analysis::Table::num(e_nj),
-                            std::to_string(st.ops), std::to_string(ck.ops)});
-        out.stats = st.stats;
-        out.stats += ck.stats;
-        return out;
-      });
+  const auto& report = wb.run([&](const exp::ParamSet& p, exp::Recorder& rec) {
+    const double e_nj = p.get<double>("energy_nJ");
+    const EngineResult st = selftimed_ops(e_nj * 1e-9);
+    const EngineResult ck = clocked_ops(e_nj * 1e-9);
+    ops[rec.index()] = {st.ops, ck.ops};
+    rec.row()
+        .set("energy_nJ", e_nj)
+        .set("selftimed_ops", st.ops)
+        .set("clocked_ops", ck.ops);
+    rec.add_stats(st.stats);
+    rec.add_stats(ck.stats);
+  });
   report.table.print();
-  if (!report.write_csv("fig1_proportionality.csv")) {
-    std::fprintf(stderr, "warning: could not write fig1_proportionality.csv\n");
-  }
+  wb.write_csv();
   report.print_summary();
 
   std::uint64_t st_small = 0;
   std::uint64_t ck_small = 0;
+  const auto& scenarios = wb.scenario_params();
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
-    if (std::fabs(scenarios[i].param(0) - 0.5) < 1e-12) {
+    if (std::fabs(scenarios[i].get<double>("energy_nJ") - 0.5) < 1e-12) {
       st_small = ops[i].first;
       ck_small = ops[i].second;
     }

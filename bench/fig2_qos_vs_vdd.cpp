@@ -7,69 +7,59 @@
 // paper's recommended combination.
 //
 // Every Vdd point is an independent scenario (fresh kernels, fresh
-// counters) run through the SweepRunner pool; the QoS curves are then
-// assembled serially in grid order, so the analysis below is identical
-// at any EMC_SWEEP_THREADS.
+// counters) described by a typed exp::ParamSet and run through the
+// exp::Workbench grid; the QoS curves are then assembled serially in
+// grid order, so the analysis below is identical at any
+// EMC_SWEEP_THREADS.
 #include <cstdio>
 
 #include "analysis/sweep.hpp"
-#include "analysis/sweep_runner.hpp"
-#include "analysis/table.hpp"
 #include "async/bundled.hpp"
 #include "async/counter.hpp"
-#include "device/delay_model.hpp"
-#include "gates/energy_meter.hpp"
+#include "exp/context_config.hpp"
+#include "exp/workbench.hpp"
 #include "power/qos.hpp"
-#include "supply/battery.hpp"
 
 namespace {
 
 using namespace emc;
 
 power::QosPoint measure_dualrail(double vdd, sim::Kernel::Stats* stats) {
-  sim::Kernel kernel;
-  device::DelayModel model{device::Tech::umc90()};
-  supply::Battery bat(kernel, "vdd", vdd);
-  gates::EnergyMeter meter(kernel, device::Tech::umc90(), &bat);
-  gates::Context ctx{kernel, model, bat, &meter};
-  async::DualRailCounter ctr(ctx, "drc", 2);
+  auto ex = exp::ContextConfig::battery(vdd).build();
+  async::DualRailCounter ctr(ex.ctx(), "drc", 2);
   ctr.start();
   const sim::Time horizon = vdd < 0.3 ? sim::us(60) : sim::us(6);
-  kernel.run_until(horizon);
-  meter.integrate_leakage();
+  ex.kernel().run_until(horizon);
+  ex.meter()->integrate_leakage();
   power::QosPoint p;
   p.vdd = vdd;
   const double secs = sim::to_seconds(horizon);
   const std::uint64_t good = ctr.count() - ctr.code_errors();
   p.qos = double(good) / secs;
-  p.power_w = meter.total_energy() / secs;
+  p.power_w = ex.meter()->total_energy() / secs;
   p.error_rate =
       ctr.count() > 0 ? double(ctr.code_errors()) / double(ctr.count()) : 1.0;
-  *stats += kernel.stats();
+  *stats += ex.kernel().stats();
   return p;
 }
 
 power::QosPoint measure_bundled(double vdd, sim::Kernel::Stats* stats) {
-  sim::Kernel kernel;
-  device::DelayModel model{device::Tech::umc90()};
-  supply::Battery bat(kernel, "vdd", vdd);
-  gates::EnergyMeter meter(kernel, device::Tech::umc90(), &bat);
-  gates::Context ctx{kernel, model, bat, &meter};
-  async::BundledCounter ctr(ctx, "bc", async::BundledParams{});
+  auto ex = exp::ContextConfig::battery(vdd).build();
+  async::BundledCounter ctr(ex.ctx(), "bc", async::BundledParams{});
   ctr.start();
   const sim::Time horizon = vdd < 0.3 ? sim::us(60) : sim::us(6);
-  kernel.run_until(horizon);
-  meter.integrate_leakage();
+  ex.kernel().run_until(horizon);
+  ex.meter()->integrate_leakage();
   power::QosPoint p;
   p.vdd = vdd;
   const double secs = sim::to_seconds(horizon);
   const std::uint64_t good =
       ctr.count() > ctr.errors() ? ctr.count() - ctr.errors() : 0;
   p.qos = double(good) / secs;
-  p.power_w = meter.total_energy() / secs;
+  p.power_w = ex.meter()->total_energy() / secs;
   p.error_rate =
       ctr.count() > 0 ? double(ctr.errors()) / double(ctr.count()) : 1.0;
-  *stats += kernel.stats();
+  *stats += ex.kernel().stats();
   return p;
 }
 
@@ -84,37 +74,35 @@ int main() {
   analysis::print_banner("Fig. 2 — QoS vs Vdd: Design 1 (SI dual-rail) vs "
                          "Design 2 (bundled data) vs hybrid");
 
-  const auto grid = analysis::vdd_grid();
-  const auto scenarios = analysis::scenarios_over("vdd", grid);
-  std::vector<PointPair> points(scenarios.size());
+  exp::Workbench wb("fig2_qos_vs_vdd");
+  wb.grid().over("vdd", analysis::vdd_grid());
+  wb.columns({"vdd_V", "d1_qos_ops_s", "d1_eff_ops_uJ", "d2_qos_ops_s",
+              "d2_eff_ops_uJ", "d2_err_rate", "winner"});
+  std::vector<PointPair> points(wb.grid().size());
 
-  analysis::SweepRunner runner({"vdd_V", "d1_qos_ops_s", "d1_eff_ops_uJ",
-                                "d2_qos_ops_s", "d2_eff_ops_uJ",
-                                "d2_err_rate", "winner"});
-  const auto report = runner.run(
-      scenarios, [&](const analysis::Scenario& s, std::size_t i) {
-        const double v = s.param(0);
-        analysis::ScenarioOutput out;
-        const auto p1 = measure_dualrail(v, &out.stats);
-        const auto p2 = measure_bundled(v, &out.stats);
-        points[i] = {p1, p2};
-        const bool d2_ok = p2.error_rate < 0.01;
-        const char* winner =
-            !d2_ok ? (p1.qos > 0 ? "design1" : "-")
-                   : (p2.qos_per_watt() > p1.qos_per_watt() ? "design2"
-                                                            : "design1");
-        out.rows.push_back(
-            {analysis::Table::num(v), analysis::Table::num(p1.qos, 4),
-             analysis::Table::num(p1.qos_per_watt() * 1e-6, 4),
-             analysis::Table::num(p2.qos, 4),
-             analysis::Table::num(p2.qos_per_watt() * 1e-6, 4),
-             analysis::Table::num(p2.error_rate, 3), winner});
-        return out;
-      });
+  const auto& report = wb.run([&](const exp::ParamSet& p, exp::Recorder& rec) {
+    const double v = p.get<double>("vdd");
+    sim::Kernel::Stats stats;
+    const auto p1 = measure_dualrail(v, &stats);
+    const auto p2 = measure_bundled(v, &stats);
+    points[rec.index()] = {p1, p2};
+    const bool d2_ok = p2.error_rate < 0.01;
+    const char* winner =
+        !d2_ok ? (p1.qos > 0 ? "design1" : "-")
+               : (p2.qos_per_watt() > p1.qos_per_watt() ? "design2"
+                                                        : "design1");
+    rec.row()
+        .set("vdd_V", v)
+        .set("d1_qos_ops_s", p1.qos, 4)
+        .set("d1_eff_ops_uJ", p1.qos_per_watt() * 1e-6, 4)
+        .set("d2_qos_ops_s", p2.qos, 4)
+        .set("d2_eff_ops_uJ", p2.qos_per_watt() * 1e-6, 4)
+        .set("d2_err_rate", p2.error_rate, 3)
+        .set("winner", winner);
+    rec.add_stats(stats);
+  });
   report.table.print();
-  if (!report.write_csv("fig2_qos_vs_vdd.csv")) {
-    std::fprintf(stderr, "warning: could not write fig2_qos_vs_vdd.csv\n");
-  }
+  wb.write_csv();
   report.print_summary();
 
   // Curves are rebuilt in grid order, so every threshold below is

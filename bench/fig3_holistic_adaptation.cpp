@@ -11,24 +11,24 @@
 // energy per harvested joule.
 //
 // The 3 systems x 3 harvest seeds = 9 independent simulations run as one
-// SweepRunner sweep (each on its own kernel); the per-system averages
-// are folded afterwards in scenario order.
+// exp::Workbench grid over typed {system, seed} parameters (each
+// scenario on its own kernel, power chain declared as an
+// exp::SupplyConfig); the per-system averages are folded afterwards in
+// scenario order.
 #include <algorithm>
 #include <cstdio>
 #include <functional>
 #include <memory>
 
-#include "analysis/sweep_runner.hpp"
 #include "analysis/table.hpp"
 #include "device/delay_model.hpp"
+#include "exp/supply_config.hpp"
+#include "exp/workbench.hpp"
 #include "power/adaptive_controller.hpp"
 #include "power/power_meter.hpp"
 #include "sched/energy_token.hpp"
 #include "sched/scheduler.hpp"
 #include "sched/task.hpp"
-#include "supply/harvester.hpp"
-#include "supply/mppt.hpp"
-#include "supply/storage_cap.hpp"
 
 namespace {
 
@@ -41,19 +41,22 @@ struct Outcome {
   sim::Kernel::Stats kernel_stats;
 };
 
+// The Fig. 3 power chain as data: a 2 uF store pre-charged to 0.8 V
+// (wake at 0.16 V, shunt-clamped at 1.0 V) fed by the bursty vibration
+// harvester through MPPT.
+exp::SupplyConfig power_chain(std::uint64_t seed) {
+  return exp::SupplyConfig::harvested(
+      exp::SupplyConfig::storage_cap(2e-6, 0.8)
+          .wake_threshold(0.16)
+          .max_voltage(1.0),
+      supply::HarvesterProfile::vibration_200uw(), seed, sim::us(10));
+}
+
 Outcome run_system(int which, std::uint64_t seed) {
   sim::Kernel kernel;
-  sim::Rng rng(seed);
   device::DelayModel model{device::Tech::umc90()};
-  supply::StorageCap store(kernel, "store", 2e-6, 0.8);
-  store.set_wake_threshold(0.16);
-  store.set_max_voltage(1.0);
-  supply::Harvester harvester(
-      kernel, supply::HarvesterProfile::vibration_200uw(), store, rng,
-      sim::us(10));
-  supply::MpptController mppt(kernel, harvester, supply::MpptParams{});
-  harvester.start();
-  mppt.start();
+  exp::BuiltSupply chain = power_chain(seed).build(kernel);
+  supply::StorageCap& store = *chain.store();
 
   // Always-on node load (radio wake logic, retention, sensor bias):
   // ~40 uW at 0.8 V, scaling as V^2. This is what makes over-admission
@@ -104,7 +107,7 @@ Outcome run_system(int which, std::uint64_t seed) {
   kernel.run_until(sim::ms(300));
   Outcome o;
   o.stats = sched->stats();
-  o.harvested_j = harvester.total_energy_harvested();
+  o.harvested_j = chain.harvester()->total_energy_harvested();
   o.level_changes = ctl ? ctl->level_changes() : 0;
   o.kernel_stats = kernel.stats();
   return o;
@@ -120,40 +123,29 @@ int main() {
   static const char* kNames[3] = {"A fixed-rate (traditional)",
                                   "B energy-token (static)",
                                   "C energy-token + adaptive (Fig. 3)"};
-  static const std::uint64_t kSeeds[3] = {11, 22, 33};
 
-  // One scenario per (system, seed) pair; params = {which, seed}.
-  std::vector<analysis::Scenario> scenarios;
-  for (int which = 0; which < 3; ++which) {
-    for (std::uint64_t seed : kSeeds) {
-      scenarios.push_back(analysis::Scenario{
-          std::string(kNames[which]) + " seed=" + std::to_string(seed),
-          {double(which), double(seed)}});
-    }
-  }
+  // One scenario per (system, seed) pair; the grid is typed — seeds are
+  // ints, not doubles smuggled through positional slots.
+  exp::Workbench wb("fig3_holistic_adaptation");
+  wb.grid().over("system", std::vector<int>{0, 1, 2});
+  wb.grid().over("seed", std::vector<int>{11, 22, 33});
+  wb.columns({"system", "seed", "completed", "aborted", "useful_uJ"});
 
-  std::vector<Outcome> outcomes(scenarios.size());
-  analysis::SweepRunner runner(
-      {"system", "seed", "completed", "aborted", "useful_uJ"});
-  const auto report = runner.run(
-      scenarios, [&](const analysis::Scenario& s, std::size_t i) {
-        const int which = static_cast<int>(s.param(0));
-        const auto seed = static_cast<std::uint64_t>(s.param(1));
-        const Outcome o = run_system(which, seed);
-        outcomes[i] = o;
-        analysis::ScenarioOutput out;
-        out.rows.push_back({kNames[which], std::to_string(seed),
-                            std::to_string(o.stats.completed),
-                            std::to_string(o.stats.aborted_brownout),
-                            analysis::Table::num(
-                                o.stats.useful_energy_j * 1e6, 4)});
-        out.stats = o.kernel_stats;
-        return out;
-      });
-  if (!report.write_csv("fig3_holistic_adaptation.csv")) {
-    std::fprintf(stderr,
-                 "warning: could not write fig3_holistic_adaptation.csv\n");
-  }
+  std::vector<Outcome> outcomes(wb.grid().size());
+  const auto& report = wb.run([&](const exp::ParamSet& p, exp::Recorder& rec) {
+    const int which = p.get<int>("system");
+    const auto seed = p.get<std::uint64_t>("seed");
+    const Outcome o = run_system(which, seed);
+    outcomes[rec.index()] = o;
+    rec.row()
+        .set("system", kNames[which])
+        .set("seed", seed)
+        .set("completed", o.stats.completed)
+        .set("aborted", o.stats.aborted_brownout)
+        .set("useful_uJ", o.stats.useful_energy_j * 1e6, 4);
+    rec.add_stats(o.kernel_stats);
+  });
+  wb.write_csv();
   report.print_summary();
 
   analysis::Table table({"system", "completed", "in_time", "aborted",
@@ -162,7 +154,7 @@ int main() {
   double aborted[3] = {0, 0, 0};
   for (int which = 0; which < 3; ++which) {
     // Average over the three harvest seeds (scenario order: seeds are
-    // contiguous per system).
+    // contiguous per system — the grid's "seed" axis varies fastest).
     sched::SchedStats acc;
     double harvested = 0.0;
     for (std::size_t k = 0; k < 3; ++k) {

@@ -6,30 +6,30 @@
 // always correct, and a VCD trace of the rails/done wires is written for
 // inspection. A bundled-data counter on the same supply is shown for
 // contrast: it keeps "running" but its captures are garbage at these
-// voltages.
+// voltages. Both stacks are declared as exp::ContextConfig descriptors
+// (the AC SupplyConfig variant) — the experiment itself is a
+// time-marching single-kernel run, not a sweep.
 #include <cstdio>
 
 #include "analysis/table.hpp"
 #include "async/bundled.hpp"
 #include "async/checker.hpp"
 #include "async/counter.hpp"
-#include "device/delay_model.hpp"
-#include "gates/energy_meter.hpp"
+#include "exp/context_config.hpp"
 #include "sim/trace.hpp"
-#include "supply/ac_supply.hpp"
 
 int main() {
   using namespace emc;
   analysis::print_banner(
       "Fig. 4 — dual-rail counter under AC supply 200mV +/- 100mV @ 1 MHz");
 
-  sim::Kernel kernel;
-  device::DelayModel model{device::Tech::umc90()};
-  supply::AcSupply ac(kernel, "ac", 0.2, 0.1, 1e6);
-  gates::EnergyMeter meter(kernel, device::Tech::umc90(), &ac);
-  gates::Context ctx{kernel, model, ac, &meter};
+  const exp::ContextConfig cfg =
+      exp::ContextConfig::with(exp::SupplyConfig::ac(0.2, 0.1, 1e6));
+  auto ex = cfg.build();
+  const supply::AcSupply& ac = *ex.ac();
+  sim::Kernel& kernel = ex.kernel();
 
-  async::DualRailCounter ctr(ctx, "drc", 2);
+  async::DualRailCounter ctr(ex.ctx(), "drc", 2);
   async::DualRailChecker checker(ctr.rails().bits());
 
   sim::VcdWriter vcd("fig4_counter_ac.vcd");
@@ -78,15 +78,14 @@ int main() {
               static_cast<unsigned long long>(checker.total_violations()));
   std::printf("  VCD trace            : fig4_counter_ac.vcd\n");
 
-  // Contrast: bundled counter on the same supply.
-  sim::Kernel k2;
-  supply::AcSupply ac2(k2, "ac", 0.2, 0.1, 1e6);
-  gates::EnergyMeter m2(k2, device::Tech::umc90(), &ac2);
-  gates::Context ctx2{k2, model, ac2, &m2};
+  // Contrast: bundled counter on the same supply config — the *same*
+  // descriptor elaborated onto a second kernel, which is the point of
+  // declarative configs: "the same supply" is now checkable by value.
+  auto ex2 = cfg.build();
   async::BundledParams bp;
-  async::BundledCounter bc(ctx2, "bc", bp);
+  async::BundledCounter bc(ex2.ctx(), "bc", bp);
   bc.start();
-  k2.run_until(sim::us(50));
+  ex2.kernel().run_until(sim::us(50));
   std::printf(
       "\nBundled-data counter on the same supply: %llu captures, %llu "
       "wrong (%.0f%%)\n  — matched delays cannot bundle across this Vdd "

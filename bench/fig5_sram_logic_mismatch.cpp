@@ -2,12 +2,17 @@
 //
 // Sweeps Vdd and prints the SRAM read delay expressed in inverter
 // delays. Anchors: 50 inverters at 1.0 V, 158 at 190 mV.
+//
+// Each Vdd point is an independent analytic scenario on the
+// exp::Workbench grid (no kernel — the models are closed-form); the
+// ratio series for the plot CSV is assembled in scenario order after
+// the sweep.
 #include <cstdio>
 
 #include "analysis/csv.hpp"
 #include "analysis/sweep.hpp"
-#include "analysis/table.hpp"
 #include "device/delay_model.hpp"
+#include "exp/workbench.hpp"
 #include "sram/bitline.hpp"
 #include "sram/cell.hpp"
 
@@ -16,25 +21,35 @@ int main() {
   analysis::print_banner(
       "Fig. 5 — SRAM read delay in inverter-delay units vs Vdd");
 
-  device::DelayModel model{device::Tech::umc90()};
-  sram::CellModel cell(model, sram::CellParams{});
-  sram::BitlineDynamics bitline(cell, sram::BitlineParams{});
+  exp::Workbench wb("fig5_mismatch");
+  wb.grid().over("vdd", analysis::vdd_grid());
+  wb.columns({"vdd_V", "inv_delay_ps", "sram_read_ns", "sram_in_inverters"});
+  std::vector<double> ratios(wb.grid().size());
 
-  analysis::Table table(
-      {"vdd_V", "inv_delay_ps", "sram_read_ns", "sram_in_inverters"});
-  analysis::CsvWriter csv({"vdd_V", "ratio"});
-  for (double v : analysis::vdd_grid()) {
+  wb.run([&](const exp::ParamSet& p, exp::Recorder& rec) {
+    const double v = p.get<double>("vdd");
+    device::DelayModel model{device::Tech::umc90()};
+    sram::CellModel cell(model, sram::CellParams{});
+    sram::BitlineDynamics bitline(cell, sram::BitlineParams{});
     const double d_inv = model.inverter_delay_seconds(v);
     const double d_sram = bitline.read_delay_seconds(v);
-    table.add_row({analysis::Table::num(v),
-                   analysis::Table::num(d_inv * 1e12, 4),
-                   analysis::Table::num(d_sram * 1e9, 4),
-                   analysis::Table::num(d_sram / d_inv, 4)});
-    csv.add_row({v, d_sram / d_inv});
+    ratios[rec.index()] = d_sram / d_inv;
+    rec.row()
+        .set("vdd_V", v)
+        .set("inv_delay_ps", d_inv * 1e12, 4)
+        .set("sram_read_ns", d_sram * 1e9, 4)
+        .set("sram_in_inverters", d_sram / d_inv, 4);
+  });
+  wb.table().print();
+
+  analysis::CsvWriter csv({"vdd_V", "ratio"});
+  const auto& scenarios = wb.scenario_params();
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    csv.add_row({scenarios[i].get<double>("vdd"), ratios[i]});
   }
-  table.print();
   csv.write("fig5_mismatch.csv");
 
+  device::DelayModel model{device::Tech::umc90()};
   analysis::print_anchor("SRAM read in inverters at 1.0 V", 50.0,
                          model.sram_delay_in_inverters(1.0), "inv");
   analysis::print_anchor("SRAM read in inverters at 0.19 V", 158.0,

@@ -1,24 +1,22 @@
 // Figs. 6/7 — speed-independent SRAM operating under varying Vdd.
 //
-// Part 1 sweeps fixed operating points through the SweepRunner engine:
-// each Vdd is an independent scenario (fresh kernel + SI SRAM) doing a
-// write/read pair, showing the same op taking microseconds at 0.25 V and
-// nanoseconds at 1 V, always completing correctly. Part 2 keeps the
-// paper's ramp demonstration (0.25 V -> 1.0 V plus an AC-like dip) on a
-// single kernel and dumps the handshake trace as VCD (Fig. 6's
-// pch/wl/we/done wires).
+// Part 1 sweeps fixed operating points through the exp::Workbench grid:
+// each Vdd is an independent scenario (fresh kernel + SI SRAM, context
+// declared as an exp::ContextConfig) doing a write/read pair, showing
+// the same op taking microseconds at 0.25 V and nanoseconds at 1 V,
+// always completing correctly. Part 2 keeps the paper's ramp
+// demonstration (0.25 V -> 1.0 V plus an AC-like dip) on a single
+// kernel — a piecewise SupplyConfig — and dumps the handshake trace as
+// VCD (Fig. 6's pch/wl/we/done wires).
 #include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "analysis/sweep_runner.hpp"
-#include "analysis/table.hpp"
-#include "device/delay_model.hpp"
-#include "gates/energy_meter.hpp"
+#include "exp/context_config.hpp"
+#include "exp/workbench.hpp"
 #include "sim/trace.hpp"
 #include "sram/si_controller.hpp"
-#include "supply/battery.hpp"
 
 namespace {
 
@@ -34,12 +32,8 @@ struct OpPair {
 
 // One operating point: fresh kernel, battery at `vdd`, one write + read.
 OpPair measure_point(double vdd, sim::Kernel::Stats* stats) {
-  sim::Kernel kernel;
-  device::DelayModel model{device::Tech::umc90()};
-  supply::Battery bat(kernel, "vdd", vdd);
-  gates::EnergyMeter meter(kernel, device::Tech::umc90(), &bat);
-  gates::Context ctx{kernel, model, bat, &meter};
-  sram::SiSram sram(ctx, "sram", sram::SiSramParams{});
+  auto ex = exp::ContextConfig::battery(vdd).build();
+  sram::SiSram sram(ex.ctx(), "sram", sram::SiSramParams{});
 
   OpPair out;
   bool w_ok = false, r_ok = false;
@@ -53,9 +47,9 @@ OpPair measure_point(double vdd, sim::Kernel::Stats* stats) {
       r_ok = rr.ok && val == 0x5a5a;
     });
   });
-  kernel.run_until(sim::ms(1));
+  ex.kernel().run_until(sim::ms(1));
   out.ok = w_ok && r_ok;
-  *stats += kernel.stats();
+  *stats += ex.kernel().stats();
   return out;
 }
 
@@ -66,32 +60,28 @@ int main() {
       "Fig. 7 — SI SRAM under varying Vdd (sweep + ramp demo)");
 
   // Part 1: operating-point sweep, one kernel per Vdd.
-  const std::vector<double> grid = {0.25, 0.3, 0.4, 0.6, 0.8, 1.0};
-  const auto scenarios = analysis::scenarios_over("vdd", grid);
-  std::vector<OpPair> points(scenarios.size());
+  exp::Workbench wb("fig7_sram_varying_vdd");
+  wb.grid().over("vdd", {0.25, 0.3, 0.4, 0.6, 0.8, 1.0});
+  wb.columns({"vdd_V", "write_latency_us", "write_pJ", "read_latency_us",
+              "read_pJ", "completed_ok"});
+  std::vector<OpPair> points(wb.grid().size());
 
-  analysis::SweepRunner runner({"vdd_V", "write_latency_us", "write_pJ",
-                                "read_latency_us", "read_pJ",
-                                "completed_ok"});
-  const auto report = runner.run(
-      scenarios, [&](const analysis::Scenario& s, std::size_t i) {
-        const double v = s.param(0);
-        analysis::ScenarioOutput out;
-        const OpPair p = measure_point(v, &out.stats);
-        points[i] = p;
-        out.rows.push_back(
-            {analysis::Table::num(v, 3),
-             analysis::Table::num(p.write_latency_s * 1e6, 4),
-             analysis::Table::num(p.write_energy_j * 1e12, 3),
-             analysis::Table::num(p.read_latency_s * 1e6, 4),
-             analysis::Table::num(p.read_energy_j * 1e12, 3),
-             p.ok ? "yes" : "NO"});
-        return out;
-      });
+  const auto& report = wb.run([&](const exp::ParamSet& p, exp::Recorder& rec) {
+    const double v = p.get<double>("vdd");
+    sim::Kernel::Stats stats;
+    const OpPair pt = measure_point(v, &stats);
+    points[rec.index()] = pt;
+    rec.row()
+        .set("vdd_V", v, 3)
+        .set("write_latency_us", pt.write_latency_s * 1e6, 4)
+        .set("write_pJ", pt.write_energy_j * 1e12, 3)
+        .set("read_latency_us", pt.read_latency_s * 1e6, 4)
+        .set("read_pJ", pt.read_energy_j * 1e12, 3)
+        .set("completed_ok", pt.ok ? "yes" : "NO");
+    rec.add_stats(stats);
+  });
   report.table.print();
-  if (!report.write_csv("fig7_sram_varying_vdd.csv")) {
-    std::fprintf(stderr, "warning: could not write fig7_sram_varying_vdd.csv\n");
-  }
+  wb.write_csv();
   report.print_summary();
 
   const double lat_low = points.front().write_latency_s;
@@ -102,18 +92,17 @@ int main() {
       lat_high > 0 ? lat_low / lat_high : 0.0);
 
   // Part 2: the ramp demonstration with the VCD handshake trace.
-  sim::Kernel kernel;
-  device::DelayModel model{device::Tech::umc90()};
-  supply::PiecewiseSupply ramp(kernel, "ramp",
-                               {{0, 0.25},
-                                {sim::us(40), 0.25},
-                                {sim::us(45), 1.0},
-                                {sim::us(80), 1.0},
-                                {sim::us(85), 0.4},
-                                {sim::us(120), 0.4}});
-  gates::EnergyMeter meter(kernel, device::Tech::umc90(), &ramp);
-  gates::Context ctx{kernel, model, ramp, &meter};
-  sram::SiSram sram(ctx, "sram", sram::SiSramParams{});
+  auto ex = exp::ContextConfig::with(exp::SupplyConfig::piecewise(
+                                         {{0, 0.25},
+                                          {sim::us(40), 0.25},
+                                          {sim::us(45), 1.0},
+                                          {sim::us(80), 1.0},
+                                          {sim::us(85), 0.4},
+                                          {sim::us(120), 0.4}}))
+                .build();
+  sim::Kernel& kernel = ex.kernel();
+  supply::Supply& ramp = ex.supply();
+  sram::SiSram sram(ex.ctx(), "sram", sram::SiSramParams{});
 
   sim::VcdWriter vcd("fig7_sram_handshakes.vcd");
   vcd.add(sram.w_req());

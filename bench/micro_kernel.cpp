@@ -8,7 +8,14 @@
 //   * gate_oscillator    — full gate loop: listener dispatch + delay
 //                          model + supply draw + energy meter
 //   * sram_ops           — speed-independent SRAM write transactions
-//   * sweep_throughput   — SweepRunner events/s via summed Kernel::Stats
+//   * sweep_throughput   — sweep events/s via summed Kernel::Stats
+//   * sweep_dispatch_raw — per-scenario dispatch cost of the raw
+//                          SweepRunner (trivial bodies, 1 thread)
+//   * workbench_overhead — the same trivial sweep through the full
+//                          exp::Workbench façade (grid + ParamSet +
+//                          named columns); rate parity with
+//                          sweep_dispatch_raw is the proof the façade
+//                          adds no measurable per-scenario cost
 //
 // No google-benchmark dependency: a minimal best-of-N timer harness is
 // all these throughput numbers need, and it keeps the bench buildable in
@@ -36,11 +43,11 @@
 #include "analysis/sweep_runner.hpp"
 #include "async/counter.hpp"
 #include "device/delay_model.hpp"
+#include "exp/context_config.hpp"
+#include "exp/workbench.hpp"
 #include "gates/combinational.hpp"
-#include "gates/energy_meter.hpp"
 #include "sim/kernel.hpp"
 #include "sram/si_controller.hpp"
-#include "supply/battery.hpp"
 
 namespace {
 
@@ -121,17 +128,12 @@ BenchResult bench_gate_oscillator(bool smoke) {
   const sim::Time horizon = smoke ? sim::ns(200) : sim::us(2);
   return run_bench("gate_oscillator", "transitions/s", smoke ? 3 : 5,
                    [horizon] {
-                     sim::Kernel kernel;
-                     device::DelayModel model{device::Tech::umc90()};
-                     supply::Battery bat(kernel, "vdd", 1.0);
-                     gates::EnergyMeter meter(kernel, device::Tech::umc90(),
-                                              &bat);
-                     gates::Context ctx{kernel, model, bat, &meter};
-                     sim::Wire osc(kernel, "osc", false);
-                     gates::CombGate inv(ctx, "inv", gates::Op::kInv, {&osc},
-                                         osc);
+                     auto ex = exp::ContextConfig::battery(1.0).build();
+                     sim::Wire osc(ex.kernel(), "osc", false);
+                     gates::CombGate inv(ex.ctx(), "inv", gates::Op::kInv,
+                                         {&osc}, osc);
                      inv.touch();
-                     kernel.run_until(horizon);
+                     ex.kernel().run_until(horizon);
                      return osc.transitions();
                    });
 }
@@ -139,15 +141,11 @@ BenchResult bench_gate_oscillator(bool smoke) {
 BenchResult bench_sram_ops(bool smoke) {
   const std::uint16_t n = smoke ? 200 : 2000;
   return run_bench("sram_ops", "ops/s", smoke ? 3 : 5, [n] {
-    sim::Kernel kernel;
-    device::DelayModel model{device::Tech::umc90()};
-    supply::Battery bat(kernel, "vdd", 1.0);
-    gates::EnergyMeter meter(kernel, device::Tech::umc90(), &bat);
-    gates::Context ctx{kernel, model, bat, &meter};
-    sram::SiSram sram(ctx, "sram", sram::SiSramParams{});
+    auto ex = exp::ContextConfig::battery(1.0).build();
+    sram::SiSram sram(ex.ctx(), "sram", sram::SiSramParams{});
     for (std::uint16_t v = 0; v < n; ++v) {
       sram.write(v % 64u, v, nullptr);
-      kernel.run();
+      ex.kernel().run();
     }
     return static_cast<std::uint64_t>(n);
   });
@@ -162,25 +160,90 @@ BenchResult bench_sweep_throughput(bool smoke) {
   const sim::Time horizon = smoke ? sim::ns(100) : sim::ns(500);
   return run_bench(
       "sweep_throughput", "events/s", smoke ? 2 : 3, [&grid, horizon] {
-        analysis::SweepRunner runner({"vdd_V", "transitions"});
-        auto report = runner.run(
-            analysis::scenarios_over("vdd", grid),
-            [horizon](const analysis::Scenario& s, std::size_t) {
-              sim::Kernel kernel;
-              device::DelayModel model{device::Tech::umc90()};
-              supply::Battery bat(kernel, "vdd", s.param(0));
-              gates::Context ctx{kernel, model, bat, nullptr};
-              sim::Wire osc(kernel, "osc", false);
-              gates::CombGate inv(ctx, "inv", gates::Op::kInv, {&osc}, osc);
+        exp::Workbench wb("sweep_throughput");
+        wb.grid().over("vdd", grid);
+        wb.columns({"vdd_V", "transitions"});
+        const auto& report =
+            wb.run([horizon](const exp::ParamSet& p, exp::Recorder& rec) {
+              auto ex = exp::ContextConfig::battery(p.get<double>("vdd"))
+                            .meter(false)
+                            .build();
+              sim::Wire osc(ex.kernel(), "osc", false);
+              gates::CombGate inv(ex.ctx(), "inv", gates::Op::kInv, {&osc},
+                                  osc);
               inv.touch();
-              kernel.run_until(horizon);
-              analysis::ScenarioOutput out;
-              out.rows.push_back({s.label, std::to_string(osc.transitions())});
-              out.stats = kernel.stats();
-              return out;
+              ex.kernel().run_until(horizon);
+              rec.row()
+                  .set("vdd_V", p.label())
+                  .set("transitions", osc.transitions());
+              rec.add_stats(ex.kernel().stats());
             });
         return report.kernel_stats.events_executed;
       });
+}
+
+// The façade-overhead pair: the same minimal scenario — a fresh kernel
+// firing a burst of trivial events, the smallest body any real sweep
+// runs — dispatched through the raw SweepRunner and through the full
+// Workbench façade (grid construction, typed ParamSet access,
+// named-column rows). Single-threaded so the per-scenario cost is not
+// hidden by the pool. Rate parity between the two is the proof that the
+// façade's bookkeeping (a couple of small allocations per scenario,
+// ~0.1 us) vanishes against even the cheapest realistic scenario.
+constexpr std::uint64_t kDispatchBodyEvents = 64;
+
+std::uint64_t dispatch_body_events() {
+  sim::Kernel kernel;
+  std::uint64_t fired = 0;
+  for (std::uint64_t i = 0; i < kDispatchBodyEvents; ++i) {
+    kernel.schedule(static_cast<sim::Time>(i % 7 + 1), [&fired] { ++fired; });
+  }
+  kernel.run();
+  return fired;
+}
+
+BenchResult bench_sweep_dispatch_raw(bool smoke, std::size_t n) {
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) values[i] = 0.15 + 1e-6 * double(i);
+  return run_bench("sweep_dispatch_raw", "scenarios/s", smoke ? 3 : 5,
+                   [&values, n] {
+                     analysis::SweepRunner::Options opt;
+                     opt.threads = 1;
+                     analysis::SweepRunner runner({"x", "fired"}, opt);
+                     const auto scenarios =
+                         analysis::scenarios_over("x", values);
+                     auto report = runner.run(
+                         scenarios,
+                         [](const analysis::Scenario& s, std::size_t) {
+                           analysis::ScenarioOutput out;
+                           out.rows.push_back(
+                               {s.label,
+                                std::to_string(dispatch_body_events())});
+                           return out;
+                         });
+                     g_sink = double(report.table.to_csv().size());
+                     return static_cast<std::uint64_t>(n);
+                   });
+}
+
+BenchResult bench_workbench_overhead(bool smoke, std::size_t n) {
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) values[i] = 0.15 + 1e-6 * double(i);
+  return run_bench("workbench_overhead", "scenarios/s", smoke ? 3 : 5,
+                   [&values, n] {
+                     exp::Workbench wb("workbench_overhead");
+                     wb.threads(1);
+                     wb.grid().over("x", values);
+                     wb.columns({"x", "fired"});
+                     const auto& report = wb.run(
+                         [](const exp::ParamSet&, exp::Recorder& rec) {
+                           rec.row()
+                               .set("x", rec.label())
+                               .set("fired", dispatch_body_events());
+                         });
+                     g_sink = double(report.table.to_csv().size());
+                     return static_cast<std::uint64_t>(n);
+                   });
 }
 
 // --- baseline merge + JSON output ---------------------------------------
@@ -257,6 +320,18 @@ int main(int argc, char** argv) {
   results.push_back(bench_gate_oscillator(smoke));
   results.push_back(bench_sram_ops(smoke));
   results.push_back(bench_sweep_throughput(smoke));
+  const std::size_t dispatch_n = smoke ? 2'000 : 20'000;
+  results.push_back(bench_sweep_dispatch_raw(smoke, dispatch_n));
+  results.push_back(bench_workbench_overhead(smoke, dispatch_n));
+  {
+    const double raw = results[results.size() - 2].rate;
+    const double facade = results.back().rate;
+    if (raw > 0.0 && facade > 0.0) {
+      std::printf("  %-18s facade/raw dispatch rate: %.2fx "
+                  "(1.0 = free facade)\n",
+                  "", facade / raw);
+    }
+  }
 
   if (!baseline_path.empty()) {
     std::ifstream in(baseline_path);

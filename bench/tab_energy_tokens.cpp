@@ -5,9 +5,12 @@
 // marking evolution shows computation literally modulated by the energy
 // flow: throughput follows the replenishment rate, and when energy stops,
 // the net quiesces with tokens conserved.
+//
+// Each arrival rate is an independent scenario (own kernel, own net) on
+// the exp::Workbench grid.
 #include <cstdio>
 
-#include "analysis/table.hpp"
+#include "exp/workbench.hpp"
 #include "sched/petri.hpp"
 #include "sim/random.hpp"
 
@@ -16,9 +19,13 @@ int main() {
   analysis::print_banner(
       "Table — energy-token Petri net scheduling ([15])");
 
-  analysis::Table table({"energy_rate_tok_ms", "jobs_done_in_20ms",
-                         "energy_spent", "throughput_jobs_ms"});
-  for (double rate : {5.0, 20.0, 60.0, 200.0}) {
+  exp::Workbench wb("tab_energy_tokens");
+  wb.grid().over("energy_rate_tok_ms", {5.0, 20.0, 60.0, 200.0});
+  wb.columns({"energy_rate_tok_ms", "jobs_done_in_20ms", "energy_spent",
+              "throughput_jobs_ms"});
+
+  wb.run([](const exp::ParamSet& p, exp::Recorder& rec) {
+    const double rate = p.get<double>("energy_rate_tok_ms");
     sim::Kernel kernel;
     sim::Rng rng(7);
     sched::EnergyPetriNet net(kernel);
@@ -38,12 +45,14 @@ int main() {
     };
     kernel.schedule(0, feed);
     net.run(sim::ms(20), rng);
-    table.add_row({analysis::Table::num(rate),
-                   std::to_string(net.marking(done)),
-                   std::to_string(net.energy_spent()),
-                   analysis::Table::num(double(net.marking(done)) / 20.0, 3)});
-  }
-  table.print();
+    rec.row()
+        .set("energy_rate_tok_ms", rate)
+        .set("jobs_done_in_20ms", net.marking(done))
+        .set("energy_spent", net.energy_spent())
+        .set("throughput_jobs_ms", double(net.marking(done)) / 20.0, 3);
+    rec.add_stats(kernel.stats());
+  });
+  wb.table().print();
   std::printf(
       "\nBehaviour is energy-modulated: the job rate tracks the token "
       "arrival rate until\nthe structural bound of the graph saturates; "

@@ -1,27 +1,45 @@
 // [8] follow-up — SI SRAM failure / corner analysis.
+//
+// Process corners as a typed string-valued exp::Workbench grid: each
+// corner's report is computed in its own scenario, rows land in grid
+// order.
 #include <cstdio>
 
-#include "analysis/table.hpp"
+#include "exp/workbench.hpp"
 #include "sram/failure.hpp"
 
 int main() {
   using namespace emc;
   analysis::print_banner("Table — SI SRAM corner & failure analysis");
 
-  sram::FailureAnalysis fa;
-  analysis::Table table({"corner", "min_read_V", "min_write_V",
-                         "retention_V", "read@1V_ns", "read@0.19V_us",
-                         "ratio@1V", "ratio@0.19V"});
-  for (const auto& c : fa.corners()) {
-    table.add_row({c.corner, analysis::Table::num(c.min_read_vdd, 3),
-                   analysis::Table::num(c.min_write_vdd, 3),
-                   analysis::Table::num(c.retention_vdd, 3),
-                   analysis::Table::num(c.read_delay_1v_s * 1e9, 4),
-                   analysis::Table::num(c.read_delay_019v_s * 1e6, 4),
-                   analysis::Table::num(c.mismatch_ratio_1v, 4),
-                   analysis::Table::num(c.mismatch_ratio_019v, 4)});
+  exp::Workbench wb("tab_sram_corners");
+  // The grid axis comes from the producer, so corners added or renamed
+  // in sram::FailureAnalysis can never silently drop out of the table.
+  std::vector<std::string> corner_names;
+  for (const auto& c : sram::FailureAnalysis().corners()) {
+    corner_names.push_back(c.corner);
   }
-  table.print();
+  wb.grid().over("corner", corner_names);
+  wb.columns({"corner", "min_read_V", "min_write_V", "retention_V",
+              "read@1V_ns", "read@0.19V_us", "ratio@1V", "ratio@0.19V"});
+
+  wb.run([](const exp::ParamSet& p, exp::Recorder& rec) {
+    const std::string corner = p.get<std::string>("corner");
+    sram::FailureAnalysis fa;
+    for (const auto& c : fa.corners()) {
+      if (c.corner != corner) continue;
+      rec.row()
+          .set("corner", c.corner)
+          .set("min_read_V", c.min_read_vdd, 3)
+          .set("min_write_V", c.min_write_vdd, 3)
+          .set("retention_V", c.retention_vdd, 3)
+          .set("read@1V_ns", c.read_delay_1v_s * 1e9, 4)
+          .set("read@0.19V_us", c.read_delay_019v_s * 1e6, 4)
+          .set("ratio@1V", c.mismatch_ratio_1v, 4)
+          .set("ratio@0.19V", c.mismatch_ratio_019v, 4);
+    }
+  });
+  wb.table().print();
   std::printf(
       "\nThe SI controller needs no corner-specific timing: completion "
       "detection absorbs\nthe full corner spread (the bundled baselines "

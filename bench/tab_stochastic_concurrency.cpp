@@ -4,9 +4,14 @@
 // admitted degree of concurrency K and prints latency / power /
 // throughput, analytic vs simulated. The paper's point: concurrency buys
 // latency only until the power budget saturates.
+//
+// Each K is an independent scenario on the exp::Workbench grid, with a
+// per-scenario RNG seeded from K so the sweep is deterministic at any
+// EMC_SWEEP_THREADS (the old serial loop threaded one RNG through all
+// K, which a parallel sweep cannot reproduce).
 #include <cstdio>
 
-#include "analysis/table.hpp"
+#include "exp/workbench.hpp"
 #include "sched/stochastic.hpp"
 #include "sim/random.hpp"
 
@@ -15,29 +20,33 @@ int main() {
   analysis::print_banner(
       "Table — power/latency/degree-of-concurrency (CTMC, analytic vs sim)");
 
-  sched::ConcurrencyModel m;
-  m.lambda_hz = 900.0;
-  m.mu_hz = 400.0;
-  m.power_budget_w = 450e-6;
-  m.power_per_task_w = 150e-6;  // budget admits 3 tasks at full speed
+  exp::Workbench wb("tab_stochastic_concurrency");
+  wb.grid().over("K", std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8});
+  wb.columns({"K", "latency_ms(analytic)", "latency_ms(sim)",
+              "power_uW(analytic)", "power_uW(sim)", "throughput_hz",
+              "budget_util"});
 
-  analysis::Table table({"K", "latency_ms(analytic)", "latency_ms(sim)",
-                         "power_uW(analytic)", "power_uW(sim)",
-                         "throughput_hz", "budget_util"});
-  sim::Rng rng(41);
-  for (std::size_t k = 1; k <= 8; ++k) {
-    m.max_concurrency = k;
+  wb.run([](const exp::ParamSet& p, exp::Recorder& rec) {
+    const int k = p.get<int>("K");
+    sched::ConcurrencyModel m;
+    m.lambda_hz = 900.0;
+    m.mu_hz = 400.0;
+    m.power_budget_w = 450e-6;
+    m.power_per_task_w = 150e-6;  // budget admits 3 tasks at full speed
+    m.max_concurrency = static_cast<std::size_t>(k);
+    sim::Rng rng(41 + static_cast<std::uint64_t>(k));
     const auto a = sched::solve_analytic(m);
     const auto s = sched::simulate(m, rng, 30.0);
-    table.add_row({std::to_string(k),
-                   analysis::Table::num(a.mean_latency_s * 1e3, 4),
-                   analysis::Table::num(s.mean_latency_s * 1e3, 4),
-                   analysis::Table::num(a.mean_power_w * 1e6, 4),
-                   analysis::Table::num(s.mean_power_w * 1e6, 4),
-                   analysis::Table::num(a.throughput_hz, 4),
-                   analysis::Table::num(a.utilization, 3)});
-  }
-  table.print();
+    rec.row()
+        .set("K", k)
+        .set("latency_ms(analytic)", a.mean_latency_s * 1e3, 4)
+        .set("latency_ms(sim)", s.mean_latency_s * 1e3, 4)
+        .set("power_uW(analytic)", a.mean_power_w * 1e6, 4)
+        .set("power_uW(sim)", s.mean_power_w * 1e6, 4)
+        .set("throughput_hz", a.throughput_hz, 4)
+        .set("budget_util", a.utilization, 3);
+  });
+  wb.table().print();
   std::printf(
       "\nShape ([12]): latency improves with K while the power budget "
       "allows (K <= 3 here),\nthen flattens — extra concurrency cannot be "

@@ -4,20 +4,40 @@
 //   $ ./energy_token_demo
 //
 // A sense->process->transmit pipeline where transmission costs 5x the
-// energy of sensing. Watch the net under three energy diets: it
+// energy of sensing. Watch the net under three energy diets (a typed
+// exp::Workbench grid — each diet simulates on its own kernel): it
 // degrades gracefully (keeps sensing, defers transmitting) rather than
 // failing — scheduling policy expressed as net structure.
 #include <cstdio>
 
+#include "exp/workbench.hpp"
 #include "sched/petri.hpp"
 #include "sim/random.hpp"
 
 using namespace emc;
 
+namespace {
+
+struct DietResult {
+  std::uint64_t raw = 0;
+  std::uint64_t cooked = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t spent = 0;
+  std::uint64_t left = 0;
+};
+
+}  // namespace
+
 int main() {
   std::printf("== energy-token Petri net: sense -> process -> transmit ==\n\n");
 
-  for (double tokens_per_ms : {8.0, 30.0, 120.0}) {
+  exp::Workbench wb("energy_token_demo");
+  wb.grid().over("tokens_per_ms", {8.0, 30.0, 120.0});
+  wb.columns({"tokens_per_ms", "transmitted", "energy_spent"});
+  std::vector<DietResult> results(wb.grid().size());
+
+  wb.run([&](const exp::ParamSet& p, exp::Recorder& rec) {
+    const double tokens_per_ms = p.get<double>("tokens_per_ms");
     sim::Kernel kernel;
     sim::Rng rng(3);
     sched::EnergyPetriNet net(kernel);
@@ -43,17 +63,29 @@ int main() {
 
     net.run(sim::ms(50), rng);
 
+    results[rec.index()] = {net.marking(raw), net.marking(cooked),
+                            net.marking(sent), net.energy_spent(),
+                            net.marking(net.energy_place())};
+    rec.row()
+        .set("tokens_per_ms", tokens_per_ms)
+        .set("transmitted", net.marking(sent))
+        .set("energy_spent", net.energy_spent());
+    rec.add_stats(kernel.stats());
+  });
+
+  const auto& scenarios = wb.scenario_params();
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const double tokens_per_ms = scenarios[i].get<double>("tokens_per_ms");
+    const DietResult& r = results[i];
     std::printf("energy diet %5.0f tokens/ms over 50 ms:\n", tokens_per_ms);
     std::printf("  sensed %4llu   processed %4llu   transmitted %4llu   "
                 "(energy spent %llu, left %llu)\n\n",
-                (unsigned long long)(net.marking(raw) + net.marking(cooked) * 1 +
-                                     net.marking(sent) * 2 +
-                                     net.marking(cooked)),
-                (unsigned long long)(net.marking(cooked) +
-                                     2 * net.marking(sent)),
-                (unsigned long long)net.marking(sent),
-                (unsigned long long)net.energy_spent(),
-                (unsigned long long)net.marking(net.energy_place()));
+                (unsigned long long)(r.raw + r.cooked * 1 + r.sent * 2 +
+                                     r.cooked),
+                (unsigned long long)(r.cooked + 2 * r.sent),
+                (unsigned long long)r.sent,
+                (unsigned long long)r.spent,
+                (unsigned long long)r.left);
   }
 
   std::printf(

@@ -4,64 +4,67 @@
 //   $ ./harvester_sensor_node
 //
 // Vibration harvester -> MPPT -> storage cap -> { SI SRAM log buffer +
-// sampling workload + adaptive controller }. Every 2 ms the node samples
-// a "physical quantity" (here: its own store voltage, via the
-// reference-free sensor) and logs the reading into the speed-independent
-// SRAM. The adaptive controller throttles the sampling rate with the
-// store level. The run prints a timeline and the node's energy ledger.
+// sampling workload + adaptive controller }. The whole power chain is
+// one declarative exp::SupplyConfig::harvested descriptor; the load
+// island elaborates from the exp::ContextConfig built on it. Every 2 ms
+// the node samples a "physical quantity" (here: its own store voltage,
+// via the reference-free sensor) and logs the reading into the
+// speed-independent SRAM. The adaptive controller throttles the sampling
+// rate with the store level. The run prints a timeline and the node's
+// energy ledger.
 #include <cstdio>
 #include <functional>
 #include <vector>
 
-#include "device/delay_model.hpp"
-#include "gates/energy_meter.hpp"
+#include "exp/context_config.hpp"
+#include "exp/workbench.hpp"
 #include "power/adaptive_controller.hpp"
 #include "power/power_meter.hpp"
 #include "sensor/reference_free.hpp"
 #include "sram/si_controller.hpp"
-#include "supply/battery.hpp"
-#include "supply/harvester.hpp"
-#include "supply/mppt.hpp"
-#include "supply/storage_cap.hpp"
 
 using namespace emc;
 
 int main() {
   std::printf("== energy-harvesting sensor node (holistic chain) ==\n\n");
 
-  sim::Kernel kernel;
-  sim::Rng rng(2026);
-  device::DelayModel model{device::Tech::umc90()};
-
-  // Power chain.
-  supply::StorageCap store(kernel, "store", 1e-6, 0.55);
-  store.set_wake_threshold(0.18);
-  store.set_max_voltage(1.0);  // shunt regulator at the process maximum
-  store.enable_trace();
-  supply::Harvester harvester(kernel,
-                              supply::HarvesterProfile::vibration_200uw(),
-                              store, rng, sim::us(10));
-  supply::MpptController mppt(kernel, harvester, supply::MpptParams{});
-
-  // Load island, all powered from the store.
-  gates::EnergyMeter meter(kernel, device::Tech::umc90(), &store);
-  gates::Context ctx{kernel, model, store, &meter};
-  sram::SiSram log_mem(ctx, "log", sram::SiSramParams{});
-  sensor::ReferenceFreeSensor probe_sensor(ctx, "rf",
+  // Power chain + load island, declared as data. auto_start = false: the
+  // node brings the chain up explicitly after calibration, preserving
+  // its t=0 event ordering.
+  auto ex = exp::ContextConfig::with(
+                exp::SupplyConfig::harvested(
+                    exp::SupplyConfig::storage_cap(1e-6, 0.55)
+                        .wake_threshold(0.18)
+                        .max_voltage(1.0)  // shunt regulator at the maximum
+                        .trace(),
+                    supply::HarvesterProfile::vibration_200uw(), 2026,
+                    sim::us(10), /*with_mppt=*/true, /*auto_start=*/false))
+                .build();
+  sim::Kernel& kernel = ex.kernel();
+  supply::StorageCap& store = *ex.store();
+  sram::SiSram log_mem(ex.ctx(), "log", sram::SiSramParams{});
+  sensor::ReferenceFreeSensor probe_sensor(ex.ctx(), "rf",
                                            sensor::RefFreeParams{});
 
-  // Calibrate the sensor once (factory step, battery-powered).
+  // Calibrate the sensor once (factory step, battery-powered) against a
+  // typed calibration grid.
+  exp::Grid cal_grid;
+  {
+    std::vector<double> points;
+    for (double v = 0.20; v <= 1.001; v += 0.04) points.push_back(v);
+    cal_grid.over("vdd", points);
+  }
   sensor::CalibrationTable lut;
-  for (double v = 0.20; v <= 1.001; v += 0.04) {
-    sim::Kernel cal_k;
-    supply::Battery cal_v(cal_k, "cal", v);
-    gates::EnergyMeter cal_m(cal_k, device::Tech::umc90(), &cal_v);
-    gates::Context cal_ctx{cal_k, model, cal_v, &cal_m};
-    sensor::ReferenceFreeSensor s(cal_ctx, "rf", sensor::RefFreeParams{});
+  for (const auto& p : cal_grid.build()) {
+    auto cal = exp::ContextConfig::with(
+                   exp::SupplyConfig::battery(p.get<double>("vdd"))
+                       .name("cal"))
+                   .build();
+    sensor::ReferenceFreeSensor s(cal.ctx(), "rf", sensor::RefFreeParams{});
     s.measure([&](const sensor::RefFreeReading& r) {
-      if (r.valid) lut.add(double(r.code), v);
+      if (r.valid) lut.add(double(r.code), p.get<double>("vdd"));
     });
-    cal_k.run_until(sim::ms(30));
+    cal.kernel().run_until(sim::ms(30));
   }
 
   // Adaptive control: sampling period stretches as the store depletes.
@@ -98,8 +101,8 @@ int main() {
     kernel.schedule(period, tick);
   };
 
-  harvester.start();
-  mppt.start();
+  ex.harvester()->start();
+  ex.mppt()->start();
   ctl.start();
   kernel.schedule(sim::ms(1), tick);
   kernel.run_until(sim::ms(120));
@@ -108,20 +111,20 @@ int main() {
   for (const auto& [t_ms, v] : timeline) {
     std::printf("  t=%6.1f ms   store ~ %.3f V\n", t_ms, v);
   }
-  meter.integrate_leakage();
+  ex.meter()->integrate_leakage();
   std::printf("\nnode ledger after 120 ms:\n");
   std::printf("  harvested            : %8.2f uJ (MPPT eta %.2f)\n",
-              harvester.total_energy_harvested() * 1e6,
-              mppt.extraction_efficiency());
+              ex.harvester()->total_energy_harvested() * 1e6,
+              ex.mppt()->extraction_efficiency());
   std::printf("  samples logged       : %8llu (skipped %llu while depleted)\n",
               (unsigned long long)samples, (unsigned long long)skipped);
   std::printf("  SRAM writes          : %8llu, margin failures %llu\n",
               (unsigned long long)log_mem.writes_completed(),
               (unsigned long long)log_mem.write_margin_failures());
   std::printf("  load dynamic energy  : %8.2f uJ\n",
-              meter.dynamic_energy() * 1e6);
+              ex.meter()->dynamic_energy() * 1e6);
   std::printf("  load leakage energy  : %8.2f uJ\n",
-              meter.leakage_energy() * 1e6);
+              ex.meter()->leakage_energy() * 1e6);
   std::printf("  store now            : %8.3f V\n", store.voltage());
   std::printf("  controller level     : %u (of 4), %llu level changes\n",
               level, (unsigned long long)ctl.level_changes());

@@ -3,43 +3,40 @@
 //
 //   $ ./quickstart
 //
-// Walks through the library's core loop: Kernel + DelayModel + Supply +
-// EnergyMeter -> Context -> circuits, then runs a 4-bit ripple counter
-// (the paper's Fig. 9 element) from a battery, from the Fig. 4 AC supply,
-// and from a charged capacitor that it drains to exhaustion. The three
-// power scenarios are dispatched through the SweepRunner scenario engine
-// — the same subsystem the figure benches use — so they run in parallel
-// when EMC_SWEEP_THREADS allows, each on its own kernel.
+// Walks through the library's experiment loop: describe the context as
+// data (exp::ContextConfig — tech + supply + meter), elaborate it onto a
+// fresh kernel per scenario, and dispatch the scenarios through the
+// exp::Workbench — the same subsystem the figure benches use — so they
+// run in parallel when EMC_SWEEP_THREADS allows. A 4-bit ripple counter
+// (the paper's Fig. 9 element) runs from a battery, from the Fig. 4 AC
+// supply, and from a charged capacitor that it drains to exhaustion.
 #include <cstdio>
 
-#include "analysis/sweep_runner.hpp"
 #include "async/counter.hpp"
-#include "device/delay_model.hpp"
-#include "gates/energy_meter.hpp"
-#include "supply/ac_supply.hpp"
-#include "supply/battery.hpp"
-#include "supply/storage_cap.hpp"
+#include "exp/context_config.hpp"
+#include "exp/workbench.hpp"
 
 using namespace emc;
 
 namespace {
 
-// Shared harness: run the counter from the context's supply for
-// `horizon`, then report (kernel, supply and meter all come via ctx).
-analysis::ScenarioOutput run_counter(gates::Context& ctx, sim::Time horizon,
-                                     const std::string& label) {
-  async::ToggleRippleCounter counter(ctx, "ctr", 4);
+// Shared harness: run the counter from the configured supply for
+// `horizon`, then report (kernel, supply and meter all come from the
+// elaborated experiment).
+void run_counter(const exp::ContextConfig& cfg, sim::Time horizon,
+                 const std::string& label, exp::Recorder& rec) {
+  auto ex = cfg.build();
+  async::ToggleRippleCounter counter(ex.ctx(), "ctr", 4);
   counter.start();
-  ctx.kernel.run_until(horizon);
+  ex.kernel().run_until(horizon);
   counter.stop();
-  ctx.kernel.run_until(ctx.kernel.now() + sim::us(2));
-  analysis::ScenarioOutput out;
-  out.rows.push_back(
-      {label, std::to_string(counter.transitions_served()),
-       analysis::Table::num(ctx.meter->total_energy() * 1e12, 4),
-       analysis::Table::num(ctx.supply.voltage(), 3)});
-  out.stats = ctx.kernel.stats();
-  return out;
+  ex.kernel().run_until(ex.kernel().now() + sim::us(2));
+  rec.row()
+      .set("supply", label)
+      .set("oscillator_edges", counter.transitions_served())
+      .set("energy_pJ", ex.meter()->total_energy() * 1e12, 4)
+      .set("residual_V", ex.supply().voltage(), 3);
+  rec.add_stats(ex.kernel().stats());
 }
 
 }  // namespace
@@ -48,46 +45,40 @@ int main() {
   std::printf("== energy-modulated computing: quickstart ==\n\n");
   std::printf(
       "One self-timed ripple counter, three supplies. Each scenario is an\n"
-      "independent kernel run through analysis::SweepRunner.\n\n");
+      "independent kernel run through the exp::Workbench.\n\n");
 
-  // params[0] selects the supply variant the body builds; the label is
-  // reporting only, so reordering scenarios cannot mislabel results.
-  enum Supply { kBattery = 0, kAc = 1, kCap = 2 };
-  const std::vector<analysis::Scenario> scenarios = {
-      {"battery 1.0 V", {kBattery}},
-      {"AC 200+/-100 mV @ 1 MHz", {kAc}},
-      {"cap 50 pF @ 0.9 V", {kCap}},
-  };
+  // The "supply" parameter selects the variant the body elaborates; the
+  // label is reporting only, so reordering scenarios cannot mislabel
+  // results.
+  exp::Workbench wb("quickstart");
+  wb.scenarios({
+      exp::ParamSet().set("supply", "battery").set_label("battery 1.0 V"),
+      exp::ParamSet().set("supply", "ac").set_label(
+          "AC 200+/-100 mV @ 1 MHz"),
+      exp::ParamSet().set("supply", "cap").set_label("cap 50 pF @ 0.9 V"),
+  });
+  wb.columns({"supply", "oscillator_edges", "energy_pJ", "residual_V"});
 
-  analysis::SweepRunner runner(
-      {"supply", "oscillator_edges", "energy_pJ", "residual_V"});
-  const auto report = runner.run(
-      scenarios, [&](const analysis::Scenario& s, std::size_t) {
-        sim::Kernel kernel;
-        device::DelayModel model{device::Tech::umc90()};
-        const auto which = static_cast<Supply>(static_cast<int>(s.param(0)));
-        if (which == kBattery) {
-          // Full speed: the counter free-runs for 1 us.
-          supply::Battery vdd(kernel, "vdd", 1.0);
-          gates::EnergyMeter meter(kernel, device::Tech::umc90(), &vdd);
-          gates::Context ctx{kernel, model, vdd, &meter};
-          return run_counter(ctx, sim::us(1), s.label);
-        }
-        if (which == kAc) {
-          // The paper's AC supply: the counter stalls in the troughs and
-          // resumes — slower, never wrong.
-          supply::AcSupply vdd(kernel, "ac", 0.2, 0.1, 1e6);
-          gates::EnergyMeter meter(kernel, device::Tech::umc90(), &vdd);
-          gates::Context ctx{kernel, model, vdd, &meter};
-          return run_counter(ctx, sim::us(10), s.label);
-        }
-        // A charged capacitor: the charge quantum, not a clock, decides
-        // how much is computed.
-        supply::StorageCap vdd(kernel, "cap", 50e-12, 0.9);
-        gates::EnergyMeter meter(kernel, device::Tech::umc90(), &vdd);
-        gates::Context ctx{kernel, model, vdd, &meter};
-        return run_counter(ctx, sim::ms(1), s.label);
-      });
+  const auto& report = wb.run([](const exp::ParamSet& p, exp::Recorder& rec) {
+    const std::string which = p.get<std::string>("supply");
+    if (which == "battery") {
+      // Full speed: the counter free-runs for 1 us.
+      run_counter(exp::ContextConfig::battery(1.0), sim::us(1), p.label(),
+                  rec);
+    } else if (which == "ac") {
+      // The paper's AC supply: the counter stalls in the troughs and
+      // resumes — slower, never wrong.
+      run_counter(exp::ContextConfig::with(exp::SupplyConfig::ac(0.2, 0.1,
+                                                                 1e6)),
+                  sim::us(10), p.label(), rec);
+    } else {
+      // A charged capacitor: the charge quantum, not a clock, decides
+      // how much is computed.
+      run_counter(exp::ContextConfig::with(
+                      exp::SupplyConfig::storage_cap(50e-12, 0.9)),
+                  sim::ms(1), p.label(), rec);
+    }
+  });
 
   report.table.print();
   report.print_summary();

@@ -6,18 +6,18 @@
 // (needs a time reference), (2) the charge-to-digital converter of Fig. 9
 // (needs a sampling switch, converts energy to a code), and (3) the
 // reference-free race sensor of Fig. 12 (needs nothing but logic), each
-// calibrated once against a Vdd sweep.
+// calibrated once against a typed exp::Grid Vdd sweep. Every reading
+// elaborates its stack from an exp::ContextConfig.
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
 
-#include "device/delay_model.hpp"
-#include "gates/energy_meter.hpp"
+#include "exp/context_config.hpp"
+#include "exp/workbench.hpp"
 #include "sensor/calibration.hpp"
 #include "sensor/charge_to_digital.hpp"
 #include "sensor/reference_free.hpp"
 #include "sensor/ring_oscillator.hpp"
-#include "supply/battery.hpp"
 
 using namespace emc;
 
@@ -25,55 +25,52 @@ namespace {
 
 template <typename MeasureFn>
 sensor::CalibrationTable calibrate(MeasureFn&& measure) {
+  exp::Grid grid;
+  {
+    std::vector<double> points;
+    for (double v = 0.25; v <= 1.001; v += 0.05) points.push_back(v);
+    grid.over("vdd", points);
+  }
   sensor::CalibrationTable t;
-  for (double v = 0.25; v <= 1.001; v += 0.05) {
+  for (const auto& p : grid.build()) {
+    const double v = p.get<double>("vdd");
     if (auto code = measure(v)) t.add(*code, v);
   }
   return t;
 }
 
 std::optional<double> ring_code(double vdd) {
-  sim::Kernel kernel;
-  device::DelayModel model{device::Tech::umc90()};
-  supply::Battery bat(kernel, "vdd", vdd);
-  gates::EnergyMeter meter(kernel, device::Tech::umc90(), &bat);
-  gates::Context ctx{kernel, model, bat, &meter};
-  sensor::RingOscillatorSensor s(ctx, "ro", sensor::RingOscParams{});
+  auto ex = exp::ContextConfig::battery(vdd).build();
+  sensor::RingOscillatorSensor s(ex.ctx(), "ro", sensor::RingOscParams{});
   std::optional<double> out;
   s.measure([&](std::uint64_t c) { out = double(c); });
-  kernel.run_until(sim::us(3));
+  ex.kernel().run_until(sim::us(3));
   return out;
 }
 
 std::optional<double> c2d_code(double vdd) {
-  sim::Kernel kernel;
-  device::DelayModel model{device::Tech::umc90()};
-  supply::Battery bat(kernel, "host", 1.0);
-  gates::EnergyMeter meter(kernel, device::Tech::umc90(), &bat);
-  gates::Context ctx{kernel, model, bat, &meter};
+  auto ex = exp::ContextConfig::with(
+                exp::SupplyConfig::battery(1.0).name("host"))
+                .build();
   sensor::C2dParams p;
   p.sample_cap_f = 50e-12;
-  sensor::ChargeToDigitalConverter c2d(ctx, "c2d", p);
+  sensor::ChargeToDigitalConverter c2d(ex.ctx(), "c2d", p);
   std::optional<double> out;
   c2d.convert(vdd, [&](const sensor::ConversionResult& r) {
     out = double(r.code);
   });
-  kernel.run_until(sim::ms(20));
+  ex.kernel().run_until(sim::ms(20));
   return out;
 }
 
 std::optional<double> reffree_code(double vdd) {
-  sim::Kernel kernel;
-  device::DelayModel model{device::Tech::umc90()};
-  supply::Battery bat(kernel, "vdd", vdd);
-  gates::EnergyMeter meter(kernel, device::Tech::umc90(), &bat);
-  gates::Context ctx{kernel, model, bat, &meter};
-  sensor::ReferenceFreeSensor s(ctx, "rf", sensor::RefFreeParams{});
+  auto ex = exp::ContextConfig::battery(vdd).build();
+  sensor::ReferenceFreeSensor s(ex.ctx(), "rf", sensor::RefFreeParams{});
   std::optional<double> out;
   s.measure([&](const sensor::RefFreeReading& r) {
     if (r.valid) out = double(r.code);
   });
-  kernel.run_until(sim::ms(30));
+  ex.kernel().run_until(sim::ms(30));
   return out;
 }
 

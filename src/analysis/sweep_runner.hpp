@@ -15,6 +15,8 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <functional>
 #include <string>
@@ -29,12 +31,27 @@ namespace emc::analysis {
 
 /// One point of a parameter sweep: a label for reporting plus the
 /// parameter values the body needs to build its kernel + circuit.
+///
+/// `params` is the *deprecated* positional form — new experiments carry
+/// their operating point as a typed exp::ParamSet through exp::Workbench
+/// (which still fills `params` as a bridge for one release).
 struct Scenario {
   std::string label;
   std::vector<double> params;
 
-  double param(std::size_t i, double fallback = 0.0) const {
-    return i < params.size() ? params[i] : fallback;
+  /// Deprecated positional read. Out-of-range access aborts — it used to
+  /// silently return a fallback, which hid mislabeled grids. The check is
+  /// unconditional (not assert()) so Release sweeps fail loudly too.
+  [[deprecated("use exp::ParamSet::get<T>(name) instead")]]
+  double param(std::size_t i) const {
+    if (i >= params.size()) {
+      std::fprintf(stderr,
+                   "Scenario::param(%zu) out of range (scenario \"%s\" has "
+                   "%zu params)\n",
+                   i, label.c_str(), params.size());
+      std::abort();
+    }
+    return params[i];
   }
 };
 

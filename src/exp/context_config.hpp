@@ -1,0 +1,107 @@
+// Declarative gate-context descriptors.
+//
+// Every experiment in this repo used to re-assemble the same five lines
+// by hand: Kernel + DelayModel + Supply + EnergyMeter -> gates::Context.
+// ContextConfig makes that assembly *data*: a copyable descriptor of the
+// technology, the supply (a SupplyConfig), the delay-model choice and
+// whether energy is metered. `Experiment` is the elaborated result — it
+// owns the whole stack (optionally including the Kernel) with stable
+// addresses and hands out the gates::Context circuits want.
+//
+//   auto ex = exp::ContextConfig::battery(0.8).build();   // own kernel
+//   async::MullerRing ring(ex.ctx(), "ring", 6, 2);
+//   ex.kernel().run_until(sim::ms(5));
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "device/delay_model.hpp"
+#include "exp/supply_config.hpp"
+#include "gates/energy_meter.hpp"
+#include "gates/gate.hpp"
+#include "sim/kernel.hpp"
+
+namespace emc::exp {
+
+class Experiment;
+
+class ContextConfig {
+ public:
+  /// Default: umc90 tech, 1 V battery, energy meter on.
+  ContextConfig() = default;
+
+  /// Shorthand for the most common context: a battery at `volts`.
+  static ContextConfig battery(double volts) {
+    return ContextConfig().supply(SupplyConfig::battery(volts));
+  }
+
+  /// Any supply variant.
+  static ContextConfig with(SupplyConfig s) {
+    return ContextConfig().supply(std::move(s));
+  }
+
+  ContextConfig& supply(SupplyConfig s) {
+    supply_ = std::move(s);
+    return *this;
+  }
+  ContextConfig& tech(const device::Tech& t) {
+    tech_ = t;
+    return *this;
+  }
+  /// Disable the energy meter (purely behavioural experiments).
+  ContextConfig& meter(bool on) {
+    meter_ = on;
+    return *this;
+  }
+
+  const SupplyConfig& supply_config() const { return supply_; }
+  const device::Tech& tech_config() const { return tech_; }
+  bool meter_enabled() const { return meter_; }
+
+  /// Elaborate onto an external kernel (the bench owns the clock).
+  Experiment build(sim::Kernel& kernel) const;
+  /// Elaborate with a fresh kernel owned by the Experiment — the
+  /// one-kernel-per-scenario pattern every sweep body uses.
+  Experiment build() const;
+
+ private:
+  device::Tech tech_ = device::Tech::umc90();
+  SupplyConfig supply_ = SupplyConfig::battery(1.0);
+  bool meter_ = true;
+};
+
+/// A live experiment stack: kernel (owned or borrowed), delay model,
+/// supply chain, optional energy meter, and the gates::Context that ties
+/// them together. Movable; all addresses handed out are stable.
+class Experiment {
+ public:
+  sim::Kernel& kernel() { return *kernel_; }
+  const device::DelayModel& model() const { return *model_; }
+  supply::Supply& supply() { return built_.supply(); }
+  gates::EnergyMeter* meter() { return meter_.get(); }
+  gates::Context& ctx() { return *ctx_; }
+
+  /// Typed accessors into the supply chain (null when absent).
+  supply::StorageCap* store() { return built_.store(); }
+  supply::SampleCap* sample() { return built_.sample(); }
+  supply::AcSupply* ac() { return built_.ac(); }
+  supply::DcdcConverter* dcdc() { return built_.dcdc(); }
+  supply::Harvester* harvester() { return built_.harvester(); }
+  supply::MpptController* mppt() { return built_.mppt(); }
+  BuiltSupply& built_supply() { return built_; }
+
+ private:
+  friend class ContextConfig;
+  Experiment(std::unique_ptr<sim::Kernel> owned, sim::Kernel& kernel,
+             const ContextConfig& cfg);
+
+  std::unique_ptr<sim::Kernel> owned_kernel_;  // null when borrowed
+  sim::Kernel* kernel_;
+  std::unique_ptr<device::DelayModel> model_;
+  BuiltSupply built_;
+  std::unique_ptr<gates::EnergyMeter> meter_;
+  std::unique_ptr<gates::Context> ctx_;
+};
+
+}  // namespace emc::exp

@@ -1,0 +1,130 @@
+// Named, typed scenario parameters.
+//
+// A ParamSet is what a scenario *is*: a small ordered dictionary of
+// typed operating-point values ("vdd" -> 0.25, "seed" -> 11, "scheme" ->
+// "banded"). It replaces the positional `Scenario::params` doubles the
+// figure benches used to smuggle their operating points through — a
+// mislabeled grid now fails loudly (`ParamError`) instead of silently
+// reading the wrong column.
+//
+// Access is checked both ways: `get<T>("vdd")` throws on an unknown key
+// and on a type mismatch (the one deliberate widening: `get<double>` of
+// an integer parameter is allowed — grids over integers are often
+// consumed as physics values). `get_or` supplies a default for an absent
+// key but still type-checks a present one.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace emc::exp {
+
+/// Thrown on unknown parameter names and parameter type mismatches.
+class ParamError : public std::runtime_error {
+ public:
+  explicit ParamError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class ParamSet {
+ public:
+  using Value = std::variant<double, std::int64_t, bool, std::string>;
+
+  ParamSet() = default;
+
+  /// Set (or overwrite) a parameter. Insertion order is preserved and is
+  /// the order grid axes appear in derived labels and the deprecated
+  /// positional shim.
+  ParamSet& set(const std::string& name, double v) { return put(name, v); }
+  ParamSet& set(const std::string& name, std::int64_t v) {
+    return put(name, v);
+  }
+  ParamSet& set(const std::string& name, int v) {
+    return put(name, static_cast<std::int64_t>(v));
+  }
+  ParamSet& set(const std::string& name, unsigned v) {
+    return put(name, static_cast<std::int64_t>(v));
+  }
+  /// Unsigned values beyond int64 range are refused (ParamError) rather
+  /// than silently wrapping negative.
+  ParamSet& set(const std::string& name, std::uint64_t v);
+  ParamSet& set(const std::string& name, bool v) { return put(name, v); }
+  ParamSet& set(const std::string& name, std::string v) {
+    return put(name, Value(std::move(v)));
+  }
+  ParamSet& set(const std::string& name, const char* v) {
+    return put(name, Value(std::string(v)));
+  }
+
+  /// Checked typed access; throws ParamError on unknown key or type
+  /// mismatch. Supported T: double, std::int64_t, int, std::uint64_t,
+  /// bool, std::string.
+  template <typename T>
+  T get(const std::string& name) const {
+    return as<T>(name, find_or_throw(name));
+  }
+
+  /// Like get<T>, but an *absent* key yields `fallback`. A present key of
+  /// the wrong type still throws — defaults must not mask grid typos.
+  template <typename T>
+  T get_or(const std::string& name, T fallback) const {
+    const Value* v = find(name);
+    return v == nullptr ? fallback : as<T>(name, *v);
+  }
+
+  bool has(const std::string& name) const { return find(name) != nullptr; }
+
+  /// Parameter names in insertion order.
+  std::vector<std::string> keys() const;
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// Reporting label: the explicit label if one was set, otherwise
+  /// "name=value" pairs in insertion order ("vdd=0.25 seed=11").
+  std::string label() const;
+  ParamSet& set_label(std::string label) {
+    label_ = std::move(label);
+    return *this;
+  }
+
+  /// Render one value the way labels (and the legacy Scenario shim's
+  /// labels) do: Table::num for doubles, to_string for integers.
+  static std::string to_display(const Value& v);
+
+  /// Deprecated-shim bridge: the double and integer parameters, in
+  /// insertion order, as doubles. Populates `Scenario::params` so
+  /// unported positional bodies keep working for one release; new code
+  /// must use get<T>.
+  std::vector<double> positional_shim() const;
+
+ private:
+  ParamSet& put(const std::string& name, Value v);
+  const Value* find(const std::string& name) const;
+  const Value& find_or_throw(const std::string& name) const;
+
+  template <typename T>
+  static T as(const std::string& name, const Value& v);
+
+  std::vector<std::pair<std::string, Value>> entries_;
+  std::string label_;
+};
+
+template <>
+double ParamSet::as<double>(const std::string& name, const Value& v);
+template <>
+std::int64_t ParamSet::as<std::int64_t>(const std::string& name,
+                                        const Value& v);
+template <>
+int ParamSet::as<int>(const std::string& name, const Value& v);
+template <>
+std::uint64_t ParamSet::as<std::uint64_t>(const std::string& name,
+                                          const Value& v);
+template <>
+bool ParamSet::as<bool>(const std::string& name, const Value& v);
+template <>
+std::string ParamSet::as<std::string>(const std::string& name, const Value& v);
+
+}  // namespace emc::exp

@@ -1,0 +1,209 @@
+#include "exp/supply_config.hpp"
+
+namespace emc::exp {
+
+namespace {
+
+void require_cap(const SupplyConfig& c, const char* variant) {
+  if (c.kind() != SupplyConfig::Kind::kStorageCap &&
+      c.kind() != SupplyConfig::Kind::kSampleCap) {
+    throw ConfigError(std::string("SupplyConfig::") + variant +
+                      ": the nested config must be a storage_cap or "
+                      "sample_cap");
+  }
+}
+
+}  // namespace
+
+SupplyConfig SupplyConfig::battery(double volts) {
+  SupplyConfig c;
+  c.kind_ = Kind::kBattery;
+  c.name_ = "vdd";
+  c.volts_ = volts;
+  return c;
+}
+
+SupplyConfig SupplyConfig::ac(double offset_v, double amplitude_v,
+                              double frequency_hz, bool rectified) {
+  SupplyConfig c;
+  c.kind_ = Kind::kAc;
+  c.name_ = "ac";
+  c.ac_offset_ = offset_v;
+  c.ac_amplitude_ = amplitude_v;
+  c.ac_frequency_ = frequency_hz;
+  c.ac_rectified_ = rectified;
+  return c;
+}
+
+SupplyConfig SupplyConfig::storage_cap(double capacitance_f,
+                                       double initial_volts) {
+  SupplyConfig c;
+  c.kind_ = Kind::kStorageCap;
+  c.name_ = "cap";
+  c.cap_f_ = capacitance_f;
+  c.cap_v0_ = initial_volts;
+  return c;
+}
+
+SupplyConfig SupplyConfig::sample_cap(double capacitance_f,
+                                      double sampled_volts) {
+  SupplyConfig c = storage_cap(capacitance_f, sampled_volts);
+  c.kind_ = Kind::kSampleCap;
+  c.name_ = "sample";
+  return c;
+}
+
+SupplyConfig SupplyConfig::piecewise(
+    std::vector<std::pair<sim::Time, double>> points, sim::Time retry_hint) {
+  SupplyConfig c;
+  c.kind_ = Kind::kPiecewise;
+  c.name_ = "ramp";
+  c.pw_points_ = std::move(points);
+  c.pw_retry_ = retry_hint;
+  return c;
+}
+
+SupplyConfig SupplyConfig::dcdc(const SupplyConfig& input_cap,
+                                supply::DcdcParams params, bool auto_start) {
+  require_cap(input_cap, "dcdc");
+  SupplyConfig c = input_cap;  // carries the cap description + modifiers
+  c.kind_ = Kind::kDcdc;
+  c.cap_name_ = input_cap.name_;  // an explicit cap name is preserved
+  c.name_ = "dcdc";
+  c.dcdc_params_ = params;
+  c.auto_start_ = auto_start;
+  return c;
+}
+
+SupplyConfig SupplyConfig::harvested(const SupplyConfig& store_cap,
+                                     supply::HarvesterProfile profile,
+                                     std::uint64_t seed, sim::Time tick,
+                                     bool with_mppt, bool auto_start) {
+  require_cap(store_cap, "harvested");
+  SupplyConfig c = store_cap;
+  c.kind_ = Kind::kHarvested;
+  c.name_ = store_cap.name_ == "cap" ? "store" : store_cap.name_;
+  c.harvest_profile_ = profile;
+  c.harvest_seed_ = seed;
+  c.harvest_tick_ = tick;
+  c.with_mppt_ = with_mppt;
+  c.auto_start_ = auto_start;
+  return c;
+}
+
+SupplyConfig& SupplyConfig::wake_threshold(double volts) {
+  cap_wake_threshold_ = volts;
+  return *this;
+}
+
+SupplyConfig& SupplyConfig::max_voltage(double volts) {
+  cap_max_voltage_ = volts;
+  return *this;
+}
+
+SupplyConfig& SupplyConfig::trace(bool on) {
+  cap_trace_ = on;
+  return *this;
+}
+
+SupplyConfig& SupplyConfig::mppt_params(supply::MpptParams p) {
+  mppt_params_ = p;
+  return *this;
+}
+
+void SupplyConfig::apply_cap_modifiers(supply::StorageCap& cap) const {
+  if (cap_wake_threshold_ >= 0.0) cap.set_wake_threshold(cap_wake_threshold_);
+  if (cap_max_voltage_ > 0.0) cap.set_max_voltage(cap_max_voltage_);
+  if (cap_trace_) cap.enable_trace();
+}
+
+BuiltSupply SupplyConfig::build(sim::Kernel& kernel) const {
+  BuiltSupply b;
+  switch (kind_) {
+    case Kind::kBattery: {
+      auto s = std::make_unique<supply::Battery>(kernel, name_, volts_);
+      b.load_rail_ = s.get();
+      b.primary_ = std::move(s);
+      break;
+    }
+    case Kind::kAc: {
+      auto s = std::make_unique<supply::AcSupply>(
+          kernel, name_, ac_offset_, ac_amplitude_, ac_frequency_,
+          ac_rectified_);
+      b.ac_ = s.get();
+      b.load_rail_ = s.get();
+      b.primary_ = std::move(s);
+      break;
+    }
+    case Kind::kStorageCap: {
+      auto s = std::make_unique<supply::StorageCap>(kernel, name_, cap_f_,
+                                                    cap_v0_);
+      apply_cap_modifiers(*s);
+      b.store_ = s.get();
+      b.load_rail_ = s.get();
+      b.primary_ = std::move(s);
+      break;
+    }
+    case Kind::kSampleCap: {
+      auto s = std::make_unique<supply::SampleCap>(kernel, name_, cap_f_,
+                                                   cap_v0_);
+      apply_cap_modifiers(*s);
+      b.sample_ = s.get();
+      b.store_ = s.get();
+      b.load_rail_ = s.get();
+      b.primary_ = std::move(s);
+      break;
+    }
+    case Kind::kPiecewise: {
+      auto s = std::make_unique<supply::PiecewiseSupply>(
+          kernel, name_, pw_points_, pw_retry_);
+      b.load_rail_ = s.get();
+      b.primary_ = std::move(s);
+      break;
+    }
+    case Kind::kDcdc: {
+      // The input store keeps an explicitly given name; the defaulted
+      // "cap" becomes "<converter>.in".
+      const std::string in_name =
+          cap_name_ == "cap" ? name_ + ".in" : cap_name_;
+      auto in = std::make_unique<supply::StorageCap>(kernel, in_name, cap_f_,
+                                                     cap_v0_);
+      apply_cap_modifiers(*in);
+      auto conv = std::make_unique<supply::DcdcConverter>(kernel, name_, *in,
+                                                          dcdc_params_);
+      b.store_ = in.get();
+      b.dcdc_ = conv.get();
+      b.load_rail_ = conv.get();
+      b.primary_ = std::move(in);
+      b.converter_ = std::move(conv);
+      if (auto_start_) b.dcdc_->start();
+      break;
+    }
+    case Kind::kHarvested: {
+      auto store = std::make_unique<supply::StorageCap>(kernel, name_, cap_f_,
+                                                        cap_v0_);
+      apply_cap_modifiers(*store);
+      b.rng_ = std::make_unique<sim::Rng>(harvest_seed_);
+      b.harvester_ = std::make_unique<supply::Harvester>(
+          kernel, harvest_profile_, *store, *b.rng_, harvest_tick_);
+      if (with_mppt_) {
+        b.mppt_ = std::make_unique<supply::MpptController>(
+            kernel, *b.harvester_, mppt_params_);
+      }
+      b.store_ = store.get();
+      b.load_rail_ = store.get();
+      b.primary_ = std::move(store);
+      if (auto_start_) b.start();
+      break;
+    }
+  }
+  return b;
+}
+
+void BuiltSupply::start() {
+  if (harvester_) harvester_->start();
+  if (mppt_) mppt_->start();
+  if (dcdc_) dcdc_->start();
+}
+
+}  // namespace emc::exp

@@ -1,0 +1,200 @@
+// Declarative supply descriptors.
+//
+// A SupplyConfig is a copyable *description* of a power source — which
+// variant (battery / AC / storage cap / sample cap / piecewise ramp /
+// DC-DC regulated store / harvested store), and its numbers. Nothing is
+// simulated until `build(Kernel&)` elaborates the description into live
+// supply objects, so a scenario's power regime is plain data: it can sit
+// in a table, be swept over, printed, or compared — no per-bench factory
+// lambdas capturing half the world.
+//
+// BuiltSupply owns everything the description needed (the supply chain,
+// the harvester's RNG, the MPPT controller) with stable addresses, and
+// exposes the one `supply::Supply&` gates should draw from plus typed
+// accessors into the chain for benches that meter it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "supply/ac_supply.hpp"
+#include "supply/battery.hpp"
+#include "supply/dcdc.hpp"
+#include "supply/harvester.hpp"
+#include "supply/mppt.hpp"
+#include "supply/storage_cap.hpp"
+
+namespace emc::exp {
+
+/// Thrown on structurally invalid supply descriptions (e.g. a DC-DC
+/// converter fed from a non-capacitor config). Unconditional — Release
+/// sweeps fail loudly too.
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class BuiltSupply;
+
+class SupplyConfig {
+ public:
+  enum class Kind {
+    kBattery,
+    kAc,
+    kStorageCap,
+    kSampleCap,
+    kPiecewise,
+    kDcdc,
+    kHarvested,
+  };
+
+  // --- variant factories ----------------------------------------------
+
+  /// Ideal battery at `volts`.
+  static SupplyConfig battery(double volts);
+
+  /// Sinusoidal supply `offset + amplitude * sin(2 pi f t)` (optionally
+  /// full-wave rectified) — the Fig. 4 power source.
+  static SupplyConfig ac(double offset_v, double amplitude_v,
+                         double frequency_hz, bool rectified = false);
+
+  /// Storage capacitor of `capacitance` [F] pre-charged to
+  /// `initial_volts` — computation runs until the charge runs out.
+  static SupplyConfig storage_cap(double capacitance_f, double initial_volts);
+
+  /// The C2D converter's sampling capacitor (same physics, sampled name).
+  static SupplyConfig sample_cap(double capacitance_f, double sampled_volts);
+
+  /// Piecewise-linear voltage profile over (time, volts) breakpoints.
+  static SupplyConfig piecewise(
+      std::vector<std::pair<sim::Time, double>> points,
+      sim::Time retry_hint = sim::us(1));
+
+  /// Regulated rail: a DC-DC converter fed from a storage capacitor
+  /// described by `input_cap` (must be a storage_cap/sample_cap config).
+  static SupplyConfig dcdc(const SupplyConfig& input_cap,
+                           supply::DcdcParams params, bool auto_start = true);
+
+  /// Harvested store: stochastic harvester (seeded Markov power process)
+  /// + optional MPPT depositing into a storage capacitor described by
+  /// `store_cap`. The load draws from the store. `auto_start` starts the
+  /// harvester (and MPPT) during elaboration; pass false when the bench
+  /// orders its own t=0 events.
+  static SupplyConfig harvested(const SupplyConfig& store_cap,
+                                supply::HarvesterProfile profile,
+                                std::uint64_t seed,
+                                sim::Time tick = sim::us(10),
+                                bool with_mppt = true, bool auto_start = true);
+
+  // --- modifiers (chainable) ------------------------------------------
+
+  /// Supply object name used in reports/traces (each variant has an
+  /// idiomatic default: "vdd", "ac", "cap", "ramp", ...).
+  SupplyConfig& name(std::string n) {
+    name_ = std::move(n);
+    return *this;
+  }
+
+  /// Storage-cap variants: wake threshold for stalled-gate resume [V].
+  SupplyConfig& wake_threshold(double volts);
+  /// Storage-cap variants: overvoltage (shunt-regulator) clamp [V].
+  SupplyConfig& max_voltage(double volts);
+  /// Storage-cap variants: record the voltage history at every
+  /// draw/deposit.
+  SupplyConfig& trace(bool on = true);
+  /// Harvested variant: override the MPPT controller parameters.
+  SupplyConfig& mppt_params(supply::MpptParams p);
+
+  // --- queries ---------------------------------------------------------
+  Kind kind() const { return kind_; }
+  const std::string& supply_name() const { return name_; }
+
+  /// Elaborate the description into live supply objects on `kernel`.
+  BuiltSupply build(sim::Kernel& kernel) const;
+
+ private:
+  SupplyConfig() = default;
+  friend class BuiltSupply;
+
+  /// Apply the cap modifiers shared by every capacitor-backed variant.
+  void apply_cap_modifiers(supply::StorageCap& cap) const;
+
+  Kind kind_ = Kind::kBattery;
+  std::string name_ = "vdd";
+  /// Composite variants (kDcdc): the input cap's own name, preserved
+  /// from the nested descriptor ("cap" = defaulted, gets "<name>.in").
+  std::string cap_name_ = "cap";
+
+  // kBattery
+  double volts_ = 1.0;
+  // kAc
+  double ac_offset_ = 0.0;
+  double ac_amplitude_ = 0.0;
+  double ac_frequency_ = 1e6;
+  bool ac_rectified_ = false;
+  // kStorageCap / kSampleCap (also the input/store cap of kDcdc and
+  // kHarvested)
+  double cap_f_ = 0.0;
+  double cap_v0_ = 0.0;
+  double cap_wake_threshold_ = -1.0;  ///< <0 = leave class default
+  double cap_max_voltage_ = 0.0;     ///< 0 = unclamped
+  bool cap_trace_ = false;
+  // kPiecewise
+  std::vector<std::pair<sim::Time, double>> pw_points_;
+  sim::Time pw_retry_ = sim::us(1);
+  // kDcdc
+  supply::DcdcParams dcdc_params_;
+  // kHarvested
+  supply::HarvesterProfile harvest_profile_;
+  std::uint64_t harvest_seed_ = 1;
+  sim::Time harvest_tick_ = sim::us(10);
+  bool with_mppt_ = true;
+  supply::MpptParams mppt_params_;
+  // kDcdc / kHarvested
+  bool auto_start_ = true;
+};
+
+/// The live objects a SupplyConfig elaborates into. Movable; addresses
+/// of the owned supplies are stable across moves.
+class BuiltSupply {
+ public:
+  /// The rail gates should draw from (the converter output for kDcdc,
+  /// the store for kHarvested, the supply itself otherwise).
+  supply::Supply& supply() { return *load_rail_; }
+  const supply::Supply& supply() const { return *load_rail_; }
+
+  /// Typed accessors into the chain; null when the variant has no such
+  /// stage.
+  supply::StorageCap* store() { return store_; }
+  supply::SampleCap* sample() { return sample_; }
+  supply::AcSupply* ac() { return ac_; }
+  supply::DcdcConverter* dcdc() { return dcdc_; }
+  supply::Harvester* harvester() { return harvester_.get(); }
+  supply::MpptController* mppt() { return mppt_.get(); }
+
+  /// Start the harvester/MPPT (and DC-DC) stages if they were built with
+  /// auto_start = false.
+  void start();
+
+ private:
+  friend class SupplyConfig;
+  BuiltSupply() = default;
+
+  std::unique_ptr<supply::Supply> primary_;     // battery/AC/cap/piecewise
+  std::unique_ptr<supply::DcdcConverter> converter_;
+  std::unique_ptr<sim::Rng> rng_;               // owned for the harvester
+  std::unique_ptr<supply::Harvester> harvester_;
+  std::unique_ptr<supply::MpptController> mppt_;
+  supply::Supply* load_rail_ = nullptr;
+  supply::StorageCap* store_ = nullptr;
+  supply::SampleCap* sample_ = nullptr;
+  supply::AcSupply* ac_ = nullptr;
+  supply::DcdcConverter* dcdc_ = nullptr;
+};
+
+}  // namespace emc::exp

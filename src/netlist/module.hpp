@@ -11,6 +11,7 @@
 #include <cassert>
 #include <memory>
 #include <string>
+#include <typeinfo>
 #include <utility>
 #include <vector>
 
@@ -19,6 +20,30 @@
 #include "sim/signal.hpp"
 
 namespace emc::netlist {
+
+/// Typed ownership of a heterogeneous circuit element. Replaces the old
+/// `unique_ptr<void, void(*)(void*)>` trick: destruction runs the real
+/// destructor through a virtual call, and type_name() makes the element
+/// list debuggable instead of a wall of anonymous pointers.
+class OwnedNode {
+ public:
+  virtual ~OwnedNode() = default;
+  /// Implementation-defined (typeid) name of the held element type.
+  virtual const char* type_name() const = 0;
+};
+
+template <typename T>
+class TypedNode final : public OwnedNode {
+ public:
+  template <typename... Args>
+  explicit TypedNode(Args&&... args) : value_(std::forward<Args>(args)...) {}
+
+  T& value() { return value_; }
+  const char* type_name() const override { return typeid(T).name(); }
+
+ private:
+  T value_;
+};
 
 class Circuit {
  public:
@@ -39,15 +64,14 @@ class Circuit {
   }
 
   /// Create (and own) any gate-like object; records connectivity for DOT
-  /// export when `inputs`/`output` are passed.
+  /// export when `inputs`/`output` are passed. Ownership is typed
+  /// (OwnedNode), so elements destroy through their real destructors and
+  /// can be introspected via element_type_name().
   template <typename T, typename... Args>
   T& emplace(Args&&... args) {
-    auto owned = std::make_unique<T>(std::forward<Args>(args)...);
-    T& ref = *owned;
-    gates_.push_back(
-        std::unique_ptr<void, void (*)(void*)>(owned.release(), [](void* p) {
-          delete static_cast<T*>(p);
-        }));
+    auto owned = std::make_unique<TypedNode<T>>(std::forward<Args>(args)...);
+    T& ref = owned->value();
+    gates_.push_back(std::move(owned));
     return ref;
   }
 
@@ -73,11 +97,18 @@ class Circuit {
   std::size_t wire_count() const { return wires_.size(); }
   std::size_t element_count() const { return gates_.size(); }
 
+  /// Debug introspection: the (typeid) type name of element `i`, in
+  /// emplace order. Out-of-range access throws (at()) rather than
+  /// reading past the element list.
+  const char* element_type_name(std::size_t i) const {
+    return gates_.at(i)->type_name();
+  }
+
  private:
   gates::Context* ctx_;
   std::string name_;
   std::vector<std::unique_ptr<sim::Wire>> wires_;
-  std::vector<std::unique_ptr<void, void (*)(void*)>> gates_;
+  std::vector<std::unique_ptr<OwnedNode>> gates_;
   std::vector<std::pair<std::string, std::string>> edges_;
 };
 

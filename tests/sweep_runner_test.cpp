@@ -15,6 +15,10 @@
 #include "analysis/sweep_runner.hpp"
 #include "sim/kernel.hpp"
 
+// This file also covers the deprecated positional Scenario::param shim;
+// calling it here is the point.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace emc::analysis {
 namespace {
 
@@ -118,8 +122,15 @@ TEST(SweepRunner, ScenariosOverBuildsLabelsAndParams) {
   EXPECT_EQ(s[0].label, "vdd=0.25");
   EXPECT_DOUBLE_EQ(s[0].param(0), 0.25);
   EXPECT_EQ(s[1].label, "vdd=1");
-  EXPECT_DOUBLE_EQ(s[1].param(0, -1.0), 1.0);
-  EXPECT_DOUBLE_EQ(s[1].param(7, -1.0), -1.0);  // out of range -> fallback
+  EXPECT_DOUBLE_EQ(s[1].param(0), 1.0);
+}
+
+TEST(SweepRunnerDeathTest, OutOfRangePositionalParamAborts) {
+  // The old shim silently returned a fallback, which hid mislabeled
+  // grids; out-of-range positional access now dies loudly (also in
+  // Release — the check is unconditional, not assert()).
+  const auto s = scenarios_over("vdd", {0.25});
+  EXPECT_DEATH((void)s[0].param(7), "out of range");
 }
 
 TEST(SweepRunner, EnvVarControlsThreadResolution) {
