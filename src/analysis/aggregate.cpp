@@ -1,0 +1,148 @@
+#include "analysis/aggregate.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "analysis/stats.hpp"
+
+namespace emc::analysis {
+
+namespace {
+
+std::size_t column_index(const Table& t, const std::string& name) {
+  const auto& h = t.headers();
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    if (h[i] == name) return i;
+  }
+  throw std::invalid_argument("Aggregate: column \"" + name +
+                              "\" not in the input table");
+}
+
+bool parse_cell(const std::string& cell, double* out) {
+  if (cell.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(cell.c_str(), &end);
+  if (end == cell.c_str()) return false;  // "-" and other non-numbers
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+Aggregate::Aggregate(std::vector<std::string> group_by)
+    : group_by_(std::move(group_by)) {}
+
+Aggregate& Aggregate::stats(const std::string& column) {
+  stats_cols_.push_back(column);
+  return *this;
+}
+
+Aggregate& Aggregate::yield(const std::string& column) {
+  yield_cols_.push_back(column);
+  return *this;
+}
+
+Aggregate& Aggregate::precision(int digits) {
+  precision_ = digits;
+  return *this;
+}
+
+Table Aggregate::reduce(const Table& in) const {
+  std::vector<std::size_t> key_idx;
+  for (const auto& c : group_by_) key_idx.push_back(column_index(in, c));
+  std::vector<std::size_t> stat_idx;
+  for (const auto& c : stats_cols_) stat_idx.push_back(column_index(in, c));
+  std::vector<std::size_t> yield_idx;
+  for (const auto& c : yield_cols_) yield_idx.push_back(column_index(in, c));
+
+  struct Group {
+    std::vector<std::string> key_cells;
+    std::size_t rows = 0;
+    std::vector<std::vector<double>> stat_samples;   // per stats column
+    std::vector<std::uint64_t> yield_pass;           // per yield column
+    std::vector<std::uint64_t> yield_total;
+  };
+
+  // First-appearance group order: a linear key scan is plenty for the
+  // few hundred groups a figure sweep produces and keeps the reduction
+  // deterministic without ordering assumptions on the input.
+  std::vector<Group> groups;
+  for (std::size_t r = 0; r < in.row_count(); ++r) {
+    const auto& row = in.row(r);
+    Group* g = nullptr;
+    for (auto& cand : groups) {
+      bool match = true;
+      for (std::size_t k = 0; k < key_idx.size(); ++k) {
+        if (cand.key_cells[k] != row[key_idx[k]]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        g = &cand;
+        break;
+      }
+    }
+    if (g == nullptr) {
+      groups.emplace_back();
+      g = &groups.back();
+      for (std::size_t k : key_idx) g->key_cells.push_back(row[k]);
+      g->stat_samples.resize(stat_idx.size());
+      g->yield_pass.assign(yield_idx.size(), 0);
+      g->yield_total.assign(yield_idx.size(), 0);
+    }
+    ++g->rows;
+    for (std::size_t s = 0; s < stat_idx.size(); ++s) {
+      double v;
+      if (parse_cell(row[stat_idx[s]], &v)) g->stat_samples[s].push_back(v);
+    }
+    for (std::size_t y = 0; y < yield_idx.size(); ++y) {
+      double v;
+      if (parse_cell(row[yield_idx[y]], &v)) {
+        ++g->yield_total[y];
+        if (v != 0.0) ++g->yield_pass[y];
+      }
+    }
+  }
+
+  std::vector<std::string> headers = group_by_;
+  headers.push_back("trials");
+  for (const auto& c : stats_cols_) {
+    headers.push_back(c + "_mean");
+    headers.push_back(c + "_stddev");
+    headers.push_back(c + "_p5");
+    headers.push_back(c + "_p50");
+    headers.push_back(c + "_p95");
+  }
+  for (const auto& c : yield_cols_) headers.push_back(c + "_yield");
+
+  Table out(std::move(headers));
+  for (const auto& g : groups) {
+    std::vector<std::string> row = g.key_cells;
+    row.push_back(std::to_string(g.rows));
+    for (const auto& samples : g.stat_samples) {
+      if (samples.empty()) {
+        for (int i = 0; i < 5; ++i) row.emplace_back("-");
+        continue;
+      }
+      Accumulator acc;
+      for (double v : samples) acc.add(v);
+      row.push_back(Table::num(acc.mean(), precision_));
+      row.push_back(Table::num(acc.stddev(), precision_));
+      row.push_back(Table::num(percentile(samples, 5.0), precision_));
+      row.push_back(Table::num(percentile(samples, 50.0), precision_));
+      row.push_back(Table::num(percentile(samples, 95.0), precision_));
+    }
+    for (std::size_t y = 0; y < g.yield_pass.size(); ++y) {
+      row.push_back(g.yield_total[y] == 0
+                        ? std::string("-")
+                        : Table::num(static_cast<double>(g.yield_pass[y]) /
+                                         static_cast<double>(g.yield_total[y]),
+                                     precision_));
+    }
+    out.add_row(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace emc::analysis

@@ -1,0 +1,56 @@
+// Replicated-row reducer: Monte-Carlo trials in, distribution out.
+//
+// A replicated sweep (exp::Workbench::replicate) emits one row per
+// (grid point, trial). Aggregate folds those back to one row per grid
+// point: group rows by the key columns, then report each value column's
+// distribution (mean / stddev / p5 / p50 / p95) and each pass-fail
+// column's yield (fraction of trials with a non-zero value). Groups keep
+// first-appearance order, so a deterministic input table reduces to a
+// deterministic output table — the aggregate CSV inherits the sweep's
+// byte-identical-at-any-thread-count contract.
+//
+//   auto agg = analysis::Aggregate({"vdd_V"})
+//                  .stats("ratio")
+//                  .yield("read_ok");
+//   analysis::Table out = agg.reduce(wb.table());
+//   // columns: vdd_V, trials, ratio_mean, ratio_stddev, ratio_p5,
+//   //          ratio_p50, ratio_p95, read_ok_yield
+//
+// Cells that fail to parse as numbers (the "-" placeholder) are skipped;
+// a group whose value column has no parsable cells reports "-".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/table.hpp"
+
+namespace emc::analysis {
+
+class Aggregate {
+ public:
+  /// `group_by` — key columns identifying a grid point (e.g. {"vdd_V"}).
+  explicit Aggregate(std::vector<std::string> group_by);
+
+  /// Report mean/stddev/p5/p50/p95 of a numeric column per group.
+  Aggregate& stats(const std::string& column);
+
+  /// Report the fraction of rows with a non-zero value per group
+  /// ("<column>_yield") — the Monte-Carlo yield of a 0/1 pass column.
+  Aggregate& yield(const std::string& column);
+
+  /// Output precision for the reduced numeric cells (Table::num digits).
+  Aggregate& precision(int digits);
+
+  /// Reduce `in` (one row per trial) to one row per group. Throws
+  /// std::invalid_argument when a named column is missing from `in`.
+  Table reduce(const Table& in) const;
+
+ private:
+  std::vector<std::string> group_by_;
+  std::vector<std::string> stats_cols_;
+  std::vector<std::string> yield_cols_;
+  int precision_ = 4;
+};
+
+}  // namespace emc::analysis

@@ -13,7 +13,7 @@ std::vector<Scenario> scenarios_over(const std::string& name,
   std::vector<Scenario> out;
   out.reserve(values.size());
   for (double v : values) {
-    out.push_back(Scenario{name + "=" + Table::num(v), {v}});
+    out.push_back(Scenario{name + "=" + Table::num(v)});
   }
   return out;
 }

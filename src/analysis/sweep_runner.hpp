@@ -29,33 +29,17 @@
 
 namespace emc::analysis {
 
-/// One point of a parameter sweep: a label for reporting plus the
-/// parameter values the body needs to build its kernel + circuit.
-///
-/// `params` is the *deprecated* positional form — new experiments carry
+/// One point of a parameter sweep: the reporting label. Bodies carry
 /// their operating point as a typed exp::ParamSet through exp::Workbench
-/// (which still fills `params` as a bridge for one release).
+/// (or, on the raw runner, in caller-owned storage indexed by the
+/// scenario index the body receives) — the old positional `params`
+/// doubles are gone.
 struct Scenario {
   std::string label;
-  std::vector<double> params;
-
-  /// Deprecated positional read. Out-of-range access aborts — it used to
-  /// silently return a fallback, which hid mislabeled grids. The check is
-  /// unconditional (not assert()) so Release sweeps fail loudly too.
-  [[deprecated("use exp::ParamSet::get<T>(name) instead")]]
-  double param(std::size_t i) const {
-    if (i >= params.size()) {
-      std::fprintf(stderr,
-                   "Scenario::param(%zu) out of range (scenario \"%s\" has "
-                   "%zu params)\n",
-                   i, label.c_str(), params.size());
-      std::abort();
-    }
-    return params[i];
-  }
 };
 
-/// One scenario over a single parameter value per point.
+/// One labeled scenario per value ("name=value"); the values themselves
+/// live with the caller, indexed by scenario position.
 std::vector<Scenario> scenarios_over(const std::string& name,
                                      const std::vector<double>& values);
 

@@ -1,6 +1,7 @@
 #include "analysis/table.hpp"
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 
@@ -60,6 +61,16 @@ std::string Table::to_csv() const {
   emit(headers_);
   for (const auto& row : rows_) emit(row);
   return os.str();
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (out) out << to_csv();
+  if (!out) {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+    return false;
+  }
+  return true;
 }
 
 void Table::print() const { std::cout << to_string() << std::flush; }

@@ -28,7 +28,16 @@ class Table {
   /// Render as CSV (for plotting scripts).
   std::string to_csv() const;
 
+  /// Write the CSV rendering to `path`, warning on stderr on I/O
+  /// failure. Returns success.
+  bool write_csv(const std::string& path) const;
+
   void print() const;
+
+  // --- cell access (Aggregate and other table-to-table reducers) ---
+  const std::vector<std::string>& headers() const { return headers_; }
+  std::size_t row_count() const { return rows_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_[i]; }
 
  private:
   std::vector<std::string> headers_;

@@ -17,7 +17,8 @@ Experiment::Experiment(std::unique_ptr<sim::Kernel> owned, sim::Kernel& kernel,
     : owned_kernel_(std::move(owned)),
       kernel_(&kernel),
       model_(std::make_unique<device::DelayModel>(cfg.tech_config())),
-      built_(cfg.supply_config().build(kernel)) {
+      built_(cfg.supply_config().build(kernel, cfg.trial_seed_value())),
+      sampler_(cfg.variation_config(), cfg.trial_seed_value()) {
   if (cfg.meter_enabled()) {
     meter_ = std::make_unique<gates::EnergyMeter>(kernel, cfg.tech_config(),
                                                   &built_.supply());

@@ -17,6 +17,8 @@
 #include <utility>
 
 #include "device/delay_model.hpp"
+#include "device/variation.hpp"
+#include "exp/param_set.hpp"
 #include "exp/supply_config.hpp"
 #include "gates/energy_meter.hpp"
 #include "gates/gate.hpp"
@@ -55,9 +57,35 @@ class ContextConfig {
     return *this;
   }
 
+  /// Process variation for this context's devices: a corner shift plus
+  /// local per-instance sigmas. The elaborated Experiment exposes a
+  /// VariationSampler keyed by the trial seed.
+  ContextConfig& variation(const device::Variation& v) {
+    variation_ = v;
+    return *this;
+  }
+
+  /// Monte-Carlo trial seed: keys the per-instance sample streams and
+  /// re-keys stochastic supply stages (harvester). 0 = base description.
+  ContextConfig& trial_seed(std::uint64_t seed) {
+    trial_seed_ = seed;
+    return *this;
+  }
+
+  /// Adopt the trial seed from a replicated scenario's parameters (the
+  /// "trial_seed" key Workbench::replicate injects). A non-replicated
+  /// ParamSet leaves the config untouched, so bodies can call this
+  /// unconditionally.
+  ContextConfig& trial(const ParamSet& p) {
+    if (p.has("trial_seed")) trial_seed_ = p.get<std::uint64_t>("trial_seed");
+    return *this;
+  }
+
   const SupplyConfig& supply_config() const { return supply_; }
   const device::Tech& tech_config() const { return tech_; }
   bool meter_enabled() const { return meter_; }
+  const device::Variation& variation_config() const { return variation_; }
+  std::uint64_t trial_seed_value() const { return trial_seed_; }
 
   /// Elaborate onto an external kernel (the bench owns the clock).
   Experiment build(sim::Kernel& kernel) const;
@@ -69,6 +97,8 @@ class ContextConfig {
   device::Tech tech_ = device::Tech::umc90();
   SupplyConfig supply_ = SupplyConfig::battery(1.0);
   bool meter_ = true;
+  device::Variation variation_ = device::Variation::none();
+  std::uint64_t trial_seed_ = 0;
 };
 
 /// A live experiment stack: kernel (owned or borrowed), delay model,
@@ -91,6 +121,12 @@ class Experiment {
   supply::MpptController* mppt() { return built_.mppt(); }
   BuiltSupply& built_supply() { return built_; }
 
+  /// Per-instance Monte-Carlo sampler for this trial (no variation →
+  /// every sample is nominal). sample(i) is pure in (trial_seed, i), so
+  /// elaboration order never changes a device's draw.
+  const device::VariationSampler& sampler() const { return sampler_; }
+  std::uint64_t trial_seed() const { return sampler_.trial_seed(); }
+
  private:
   friend class ContextConfig;
   Experiment(std::unique_ptr<sim::Kernel> owned, sim::Kernel& kernel,
@@ -102,6 +138,7 @@ class Experiment {
   BuiltSupply built_;
   std::unique_ptr<gates::EnergyMeter> meter_;
   std::unique_ptr<gates::Context> ctx_;
+  device::VariationSampler sampler_;
 };
 
 }  // namespace emc::exp

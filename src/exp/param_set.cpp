@@ -101,18 +101,6 @@ std::string ParamSet::label() const {
   return out;
 }
 
-std::vector<double> ParamSet::positional_shim() const {
-  std::vector<double> out;
-  for (const auto& e : entries_) {
-    if (std::holds_alternative<double>(e.second)) {
-      out.push_back(std::get<double>(e.second));
-    } else if (std::holds_alternative<std::int64_t>(e.second)) {
-      out.push_back(static_cast<double>(std::get<std::int64_t>(e.second)));
-    }
-  }
-  return out;
-}
-
 template <>
 double ParamSet::as<double>(const std::string& name, const Value& v) {
   if (std::holds_alternative<double>(v)) return std::get<double>(v);

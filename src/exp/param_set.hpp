@@ -2,10 +2,10 @@
 //
 // A ParamSet is what a scenario *is*: a small ordered dictionary of
 // typed operating-point values ("vdd" -> 0.25, "seed" -> 11, "scheme" ->
-// "banded"). It replaces the positional `Scenario::params` doubles the
-// figure benches used to smuggle their operating points through — a
-// mislabeled grid now fails loudly (`ParamError`) instead of silently
-// reading the wrong column.
+// "banded"). It replaced the positional doubles the figure benches used
+// to smuggle their operating points through — a mislabeled grid now
+// fails loudly (`ParamError`) instead of silently reading the wrong
+// column.
 //
 // Access is checked both ways: `get<T>("vdd")` throws on an unknown key
 // and on a type mismatch (the one deliberate widening: `get<double>` of
@@ -36,8 +36,7 @@ class ParamSet {
   ParamSet() = default;
 
   /// Set (or overwrite) a parameter. Insertion order is preserved and is
-  /// the order grid axes appear in derived labels and the deprecated
-  /// positional shim.
+  /// the order grid axes appear in derived labels.
   ParamSet& set(const std::string& name, double v) { return put(name, v); }
   ParamSet& set(const std::string& name, std::int64_t v) {
     return put(name, v);
@@ -90,15 +89,9 @@ class ParamSet {
     return *this;
   }
 
-  /// Render one value the way labels (and the legacy Scenario shim's
-  /// labels) do: Table::num for doubles, to_string for integers.
+  /// Render one value the way labels do: Table::num for doubles,
+  /// to_string for integers.
   static std::string to_display(const Value& v);
-
-  /// Deprecated-shim bridge: the double and integer parameters, in
-  /// insertion order, as doubles. Populates `Scenario::params` so
-  /// unported positional bodies keep working for one release; new code
-  /// must use get<T>.
-  std::vector<double> positional_shim() const;
 
  private:
   ParamSet& put(const std::string& name, Value v);

@@ -1,5 +1,7 @@
 #include "exp/supply_config.hpp"
 
+#include "sim/random.hpp"
+
 namespace emc::exp {
 
 namespace {
@@ -117,7 +119,8 @@ void SupplyConfig::apply_cap_modifiers(supply::StorageCap& cap) const {
   if (cap_trace_) cap.enable_trace();
 }
 
-BuiltSupply SupplyConfig::build(sim::Kernel& kernel) const {
+BuiltSupply SupplyConfig::build(sim::Kernel& kernel,
+                                std::uint64_t trial_seed) const {
   BuiltSupply b;
   switch (kind_) {
     case Kind::kBattery: {
@@ -183,7 +186,11 @@ BuiltSupply SupplyConfig::build(sim::Kernel& kernel) const {
       auto store = std::make_unique<supply::StorageCap>(kernel, name_, cap_f_,
                                                         cap_v0_);
       apply_cap_modifiers(*store);
-      b.rng_ = std::make_unique<sim::Rng>(harvest_seed_);
+      // Replicated scenarios re-key the harvest stream per trial; the
+      // base description (trial_seed = 0) keeps its configured seed.
+      b.rng_ = std::make_unique<sim::Rng>(
+          trial_seed == 0 ? harvest_seed_
+                          : sim::derive_seed(harvest_seed_, trial_seed));
       b.harvester_ = std::make_unique<supply::Harvester>(
           kernel, harvest_profile_, *store, *b.rng_, harvest_tick_);
       if (with_mppt_) {

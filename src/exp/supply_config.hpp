@@ -115,7 +115,12 @@ class SupplyConfig {
   const std::string& supply_name() const { return name_; }
 
   /// Elaborate the description into live supply objects on `kernel`.
-  BuiltSupply build(sim::Kernel& kernel) const;
+  /// `trial_seed` is the Monte-Carlo replication hook: 0 (default)
+  /// elaborates exactly as described; a non-zero trial seed re-keys the
+  /// stochastic stages (the harvester's Markov stream) onto the derived
+  /// stream (config_seed, trial_seed), so each replica sees a fresh but
+  /// reproducible environment while deterministic variants are unchanged.
+  BuiltSupply build(sim::Kernel& kernel, std::uint64_t trial_seed = 0) const;
 
  private:
   SupplyConfig() = default;

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "analysis/table.hpp"
+#include "sim/random.hpp"
 
 namespace emc::exp {
 
@@ -147,7 +148,7 @@ Row Recorder::row() {
 Workbench::Workbench(std::string name) : name_(std::move(name)) {}
 
 Workbench& Workbench::scenarios(std::vector<ParamSet> sets) {
-  params_ = std::move(sets);
+  explicit_params_ = std::move(sets);
   explicit_scenarios_ = true;
   return *this;
 }
@@ -167,16 +168,41 @@ Workbench& Workbench::chunk(std::size_t n) {
   return *this;
 }
 
-const analysis::SweepReport& Workbench::run(const Body& body) {
-  if (!explicit_scenarios_) params_ = grid_.build();
+Workbench& Workbench::replicate(std::size_t n_trials, std::uint64_t base_seed) {
+  trials_ = n_trials == 0 ? 1 : n_trials;
+  base_seed_ = base_seed;
+  return *this;
+}
 
-  // Bridge to the (unchanged) SweepRunner: labels for reporting, and the
-  // deprecated positional shim for any straggler body still indexing
-  // doubles. New code reads the ParamSet.
+const analysis::SweepReport& Workbench::run(const Body& body) {
+  params_ = explicit_scenarios_ ? explicit_params_ : grid_.build();
+
+  if (trials_ > 1) {
+    // Expand the trial axis (fastest): every grid point becomes
+    // `trials_` adjacent scenarios carrying their trial index and the
+    // derived per-trial seed. Seeds depend on (base_seed, trial) only,
+    // so trial t is the same virtual chip at every grid point.
+    std::vector<ParamSet> expanded;
+    expanded.reserve(params_.size() * trials_);
+    for (const auto& p : params_) {
+      for (std::size_t t = 0; t < trials_; ++t) {
+        ParamSet q = p;
+        q.set("trial", static_cast<std::int64_t>(t));
+        // Masked to the positive int64 range ParamSet integers live in.
+        q.set("trial_seed",
+              static_cast<std::int64_t>(sim::derive_seed(base_seed_, t) >> 1));
+        expanded.push_back(std::move(q));
+      }
+    }
+    params_ = std::move(expanded);
+  }
+
+  // Bridge to the (unchanged) SweepRunner: labels for reporting; bodies
+  // read their operating point from the typed ParamSet.
   std::vector<analysis::Scenario> scenarios;
   scenarios.reserve(params_.size());
   for (const auto& p : params_) {
-    scenarios.push_back(analysis::Scenario{p.label(), p.positional_shim()});
+    scenarios.push_back(analysis::Scenario{p.label()});
   }
 
   analysis::SweepRunner runner(columns_, opt_);

@@ -161,6 +161,22 @@ class Workbench {
   /// The table schema: named columns, in output order.
   Workbench& columns(std::vector<std::string> names);
 
+  /// Monte-Carlo replication: run every grid point `n_trials` times.
+  /// Each replica is a plain scenario — the grid point's parameters plus
+  /// a "trial" index and a "trial_seed" derived as
+  /// sim::derive_seed(base_seed, trial) — so the unchanged SweepRunner
+  /// parallelizes replicas exactly like scenarios and the byte-identical
+  /// CSV contract holds at any thread count. The trial axis is fastest
+  /// (replicas of a point are adjacent rows, ready for
+  /// analysis::Aggregate), and trial t has the *same* seed at every grid
+  /// point: one virtual chip swept across the grid (common random
+  /// numbers). Bodies route the seed with
+  /// `ContextConfig::trial(params)` or read "trial_seed" directly.
+  Workbench& replicate(std::size_t n_trials, std::uint64_t base_seed);
+
+  /// Replication factor (1 = no replication).
+  std::size_t trials() const { return trials_; }
+
   /// Worker-thread override (0 = EMC_SWEEP_THREADS / hardware, the
   /// SweepRunner default).
   Workbench& threads(unsigned n);
@@ -186,9 +202,12 @@ class Workbench {
  private:
   std::string name_;
   Grid grid_;
-  std::vector<ParamSet> params_;
+  std::vector<ParamSet> params_;          // as run (trial axis expanded)
+  std::vector<ParamSet> explicit_params_;  // scenarios() input, pre-expansion
   bool explicit_scenarios_ = false;
   std::vector<std::string> columns_;
+  std::size_t trials_ = 1;
+  std::uint64_t base_seed_ = 0;
   analysis::SweepRunner::Options opt_;
   analysis::SweepReport report_;
 };

@@ -48,7 +48,7 @@ void Gate::on_input_change() {
 void Gate::schedule_output(bool target) {
   const double c_inv = ctx_->model.tech().c_inv;
   if (!drive_.refresh(*ctx_, cap_factor_ * c_inv * delay_stages_,
-                      cap_factor_ * c_inv, vth_offset_)) {
+                      cap_factor_ * c_inv, vth_offset_, strength_)) {
     stall_target_ = target;
     enter_stall();
     return;
@@ -65,7 +65,7 @@ void Gate::apply_output(bool target, std::uint64_t generation) {
   pending_ = false;
   const double c_inv = ctx_->model.tech().c_inv;
   if (!drive_.refresh(*ctx_, cap_factor_ * c_inv * delay_stages_,
-                      cap_factor_ * c_inv, vth_offset_)) {
+                      cap_factor_ * c_inv, vth_offset_, strength_)) {
     // Supply collapsed while the transition was in flight: the output
     // never made it; park and retry on recovery.
     stall_target_ = target;

@@ -53,16 +53,17 @@ struct DriveCache {
 
   /// Revalidate against the supply; returns `operational` at the
   /// current voltage. `delay_cload` sizes the delay, `switch_cload` the
-  /// per-transition charge/energy.
+  /// per-transition charge/energy. `vth_offset`/`strength` are the
+  /// element's per-instance device point (corner + Monte-Carlo sample).
   bool refresh(const Context& ctx, double delay_cload, double switch_cload,
-               double vth_offset) {
+               double vth_offset, double strength = 1.0) {
     const std::uint64_t e = ctx.supply.voltage_epoch();
     if (e == epoch) return operational;
     epoch = e;
     const double vdd = ctx.supply.voltage();
     operational = ctx.model.operational(vdd);
     if (!operational) return false;
-    delay = ctx.model.delay(vdd, delay_cload, vth_offset);
+    delay = ctx.model.delay(vdd, delay_cload, vth_offset, strength);
     charge = ctx.model.switching_charge(vdd, switch_cload);
     energy = ctx.model.switching_energy(vdd, switch_cload);
     return true;
@@ -106,6 +107,21 @@ class Gate {
     drive_.invalidate();  // delay depends on vth
   }
 
+  /// Per-instance drive-strength multiplier (1.0 = nominal device).
+  double strength() const { return strength_; }
+  void set_strength(double s) {
+    strength_ = s;
+    drive_.invalidate();  // delay depends on drive
+  }
+
+  /// Apply a full Monte-Carlo device sample (Vth shift + strength) in
+  /// one call — the per-gate hook replicated experiments drive.
+  void set_device_sample(const device::DeviceSample& d) {
+    vth_offset_ = d.vth_offset;
+    strength_ = d.strength;
+    drive_.invalidate();
+  }
+
  protected:
   /// Compute the target output value from the current input values.
   /// `current` is the present output (for state-holding gates).
@@ -132,6 +148,7 @@ class Gate {
   double delay_stages_;
   double cap_factor_;
   double vth_offset_;
+  double strength_ = 1.0;
   EnergyMeter::GateId meter_id_ = 0;
   bool metered_ = false;
 

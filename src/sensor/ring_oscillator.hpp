@@ -14,6 +14,7 @@
 
 #include "gates/gate.hpp"
 #include "netlist/module.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/signal.hpp"
 
 namespace emc::sensor {
@@ -28,7 +29,18 @@ class RingOscillatorSensor {
   RingOscillatorSensor(gates::Context& ctx, std::string name,
                        RingOscParams params);
 
+  /// Cancels a pending gate-window event: destroying the sensor
+  /// mid-measurement must not leave a kernel callback into freed memory
+  /// (the window closure captures `this`).
+  ~RingOscillatorSensor();
+
+  RingOscillatorSensor(const RingOscillatorSensor&) = delete;
+  RingOscillatorSensor& operator=(const RingOscillatorSensor&) = delete;
+
   /// Count ring transitions over the gate window; the count is the code.
+  /// Re-armable: once a measurement completes (callback delivered), the
+  /// next measure() starts a fresh window. Overlapping measurements are
+  /// a caller bug (asserted).
   void measure(std::function<void(std::uint64_t)> cb);
 
   /// Predicted code at constant `vdd` (window / ring period).
@@ -42,6 +54,9 @@ class RingOscillatorSensor {
   sim::Wire* enable_;
   sim::Wire* out_;
   bool measuring_ = false;
+  /// Slab handle of the in-flight window-close event (0 = none); held so
+  /// the destructor can cancel in O(1).
+  sim::EventId window_event_ = 0;
 };
 
 }  // namespace emc::sensor

@@ -3,6 +3,14 @@
 // Every stochastic component (harvester bursts, Vth mismatch, metastability
 // resolution) takes an Rng by reference so an experiment is fully
 // determined by one seed printed in its report.
+//
+// For replicated (Monte-Carlo) runs the sequential-draw model is not
+// enough: two elaborations that create the same devices in a different
+// order must still give each device the same sample. derive_seed() turns
+// a (seed, stream) pair into an independent starting state, so callers
+// key one Rng per logical entity — Rng::keyed(trial_seed, instance_id)
+// — instead of sharing one sequential stream whose draw order would leak
+// elaboration order into the results.
 #pragma once
 
 #include <cstdint>
@@ -10,9 +18,33 @@
 
 namespace emc::sim {
 
+/// SplitMix64 finalizer: a cheap, high-quality 64-bit mixing function
+/// (Steele et al.; the seed-spreading step of the splitmix64 generator).
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Counter-based stream derivation: an independent, well-mixed seed for
+/// logical stream `stream` of the experiment seeded with `seed`. Pure —
+/// the same (seed, stream) always maps to the same value, regardless of
+/// how many other streams were derived before it.
+constexpr std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream) {
+  return splitmix64(splitmix64(seed) ^ splitmix64(~stream));
+}
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : gen_(seed) {}
+
+  /// Rng on the derived stream (trial_seed, stream_id) — the handle for
+  /// per-instance Monte-Carlo draws whose results must not depend on
+  /// elaboration order.
+  static Rng keyed(std::uint64_t seed, std::uint64_t stream) {
+    return Rng(derive_seed(seed, stream));
+  }
 
   /// Uniform in [0, 1).
   double uniform() { return std::uniform_real_distribution<double>()(gen_); }

@@ -33,15 +33,16 @@ bool CellModel::sensable(double vdd, std::size_t cells_per_section,
   return i_cell >= params_.sense_margin * i_leak;
 }
 
-double CellModel::min_read_vdd(std::size_t cells_per_section) const {
+double CellModel::min_read_vdd(std::size_t cells_per_section,
+                               double vth_mismatch) const {
   const auto& tech = model_->tech();
   double lo = 0.02;
   double hi = tech.vmax;
-  if (!sensable(hi, cells_per_section)) return tech.vmax;
-  if (sensable(lo, cells_per_section)) return lo;
+  if (!sensable(hi, cells_per_section, vth_mismatch)) return tech.vmax;
+  if (sensable(lo, cells_per_section, vth_mismatch)) return lo;
   for (int i = 0; i < 60; ++i) {
     const double mid = 0.5 * (lo + hi);
-    if (sensable(mid, cells_per_section)) {
+    if (sensable(mid, cells_per_section, vth_mismatch)) {
       hi = mid;
     } else {
       lo = mid;

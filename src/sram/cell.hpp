@@ -55,8 +55,10 @@ class CellModel {
                 double vth_mismatch = 0.0) const;
 
   /// Smallest Vdd at which `sensable` holds (bisection over the model
-  /// range); returns tech.vmax if never.
-  double min_read_vdd(std::size_t cells_per_section) const;
+  /// range); returns tech.vmax if never. `vth_mismatch` shifts the
+  /// selected cell's threshold (Monte-Carlo worst cell of the section).
+  double min_read_vdd(std::size_t cells_per_section,
+                      double vth_mismatch = 0.0) const;
 
   bool write_ok(double vdd) const { return vdd >= params_.write_min_vdd; }
   bool retains(double vdd) const { return vdd >= params_.retention_vdd; }

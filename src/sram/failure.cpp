@@ -26,10 +26,19 @@ CornerReport FailureAnalysis::report_for(const device::Tech& tech,
   return r;
 }
 
+std::vector<std::pair<std::string, device::Tech>>
+FailureAnalysis::corner_techs() {
+  return {{"typical", device::Tech::umc90()},
+          {"slow", device::Tech::umc90_slow()},
+          {"fast", device::Tech::umc90_fast()}};
+}
+
 std::vector<CornerReport> FailureAnalysis::corners() const {
-  return {report_for(device::Tech::umc90(), "typical"),
-          report_for(device::Tech::umc90_slow(), "slow"),
-          report_for(device::Tech::umc90_fast(), "fast")};
+  std::vector<CornerReport> out;
+  for (const auto& [name, tech] : corner_techs()) {
+    out.push_back(report_for(tech, name));
+  }
+  return out;
 }
 
 std::vector<SectioningPoint> FailureAnalysis::sectioning(

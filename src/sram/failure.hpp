@@ -10,6 +10,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "device/delay_model.hpp"
@@ -41,7 +42,14 @@ class FailureAnalysis {
   explicit FailureAnalysis(CellParams cell_params = {},
                            BitlineParams bitline_params = {});
 
-  /// Typical / slow / fast corner reports.
+  /// The corner set this analysis covers: (name, technology) pairs.
+  /// Single source of truth — corners() derives from it, and
+  /// Monte-Carlo benches take their grid *and* per-corner tech from it,
+  /// so a corner added here can neither drop out of a table nor be
+  /// silently computed at nominal tech.
+  static std::vector<std::pair<std::string, device::Tech>> corner_techs();
+
+  /// One report per corner_techs() entry.
   std::vector<CornerReport> corners() const;
 
   /// Completion-sectioning ablation over section sizes.

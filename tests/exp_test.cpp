@@ -96,15 +96,6 @@ TEST(ParamSet, LabelsDeriveFromInsertionOrder) {
   EXPECT_EQ(q.label(), "a=3 b=2");
 }
 
-TEST(ParamSet, PositionalShimExportsNumericParamsInOrder) {
-  ParamSet p;
-  p.set("vdd", 0.25).set("scheme", "x").set("seed", 11);
-  const auto shim = p.positional_shim();
-  ASSERT_EQ(shim.size(), 2u);  // strings don't fit the legacy form
-  EXPECT_DOUBLE_EQ(shim[0], 0.25);
-  EXPECT_DOUBLE_EQ(shim[1], 11.0);
-}
-
 // --- Grid --------------------------------------------------------------
 
 TEST(Grid, CartesianOrderIsFirstAxisSlowest) {

@@ -61,6 +61,42 @@ TEST(EnergyTokenPool, AccountsHoldsAndReserve) {
   EXPECT_EQ(pool.available(), 0u);  // 0.5 V = exactly the reserve
 }
 
+TEST(EnergyTokenPool, MidTaskDrawDoesNotDoubleCountHolds) {
+  sim::Kernel k;
+  // 1 uF at 1 V = 0.5 uJ stored; reserve 0.5 V = 0.125 uJ; 10 nJ tokens
+  // -> 37 spendable.
+  supply::StorageCap store(k, "store", 1e-6, 1.0);
+  EnergyTokenPool pool(store, 10e-9, 0.5);
+  ASSERT_TRUE(pool.try_acquire(30));
+  EXPECT_EQ(pool.available(), 7u);
+
+  // The running task physically draws 10 tokens' worth (100 nJ): the
+  // store already lost that energy, so the hold's outstanding part is
+  // 20 tokens — availability must stay 7-ish, not collapse to 0 from
+  // subtracting the full hold a second time.
+  store.draw(1e-7, 100e-9);
+  EXPECT_NEAR(pool.outstanding_hold_j(), 200e-9, 1e-15);
+  // stored: 0.405 uJ; spendable: 0.405 - 0.125 - 0.2 = 0.08 uJ -> ~8
+  // tokens (one above the pre-draw 7: the E=Q^2/2C curvature of the
+  // 100 nC draw; the exact count sits on an ulp boundary).
+  EXPECT_GE(pool.available(), 7u);
+  EXPECT_LE(pool.available(), 8u);
+
+  // The old accounting under-reported to 0 and inflated rejections_;
+  // an affordable acquire must succeed without a phantom rejection.
+  EXPECT_TRUE(pool.try_acquire(7));
+  EXPECT_EQ(pool.rejections(), 0u);
+
+  // Releasing the first task retires its drawn share; the second hold
+  // keeps its full outstanding weight.
+  pool.release(30);
+  EXPECT_EQ(pool.holds(), 7u);
+  EXPECT_NEAR(pool.outstanding_hold_j(), 70e-9, 1e-15);
+  pool.release(7);
+  EXPECT_EQ(pool.holds(), 0u);
+  EXPECT_DOUBLE_EQ(pool.outstanding_hold_j(), 0.0);
+}
+
 TEST(EnergyPetriNet, FiringConservesTokens) {
   sim::Kernel k;
   EnergyPetriNet net(k);

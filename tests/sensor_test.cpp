@@ -186,6 +186,43 @@ TEST(RingOscillator, MatchesExpectedFrequency) {
   EXPECT_NEAR(double(code), expect, expect * 0.25);
 }
 
+TEST(RingOscillator, DestroyBeforeWindowClosesIsSafe) {
+  // Regression: measure() schedules the window-close lambda capturing
+  // `this`; destroying the sensor before the window elapsed used to
+  // leave that event to fire into freed memory. The sensor now holds the
+  // slab event handle and cancels it in its destructor.
+  //
+  // The fixture sits below vmin_operate so the ring gates park without
+  // scheduling events of their own — the window closure is the only
+  // thing in the queue, which is exactly the object under test.
+  Fixture f(0.10);
+  bool fired = false;
+  {
+    RingOscillatorSensor sensor(f.ctx, "ro", RingOscParams{});
+    sensor.measure([&](std::uint64_t) { fired = true; });
+    EXPECT_TRUE(sensor.measuring());
+  }  // destroyed with the gate window still pending
+  f.kernel.run_until(sim::us(3));  // would have fired the stale closure
+  EXPECT_FALSE(fired);
+}
+
+TEST(RingOscillator, ReArmsAfterCompletion) {
+  // A completed measurement must leave the sensor ready for the next
+  // one (the fired event's handle is retired, not cancelled later).
+  Fixture f(0.8);
+  RingOscillatorSensor sensor(f.ctx, "ro", RingOscParams{});
+  std::vector<std::uint64_t> codes;
+  sensor.measure([&](std::uint64_t c) { codes.push_back(c); });
+  f.kernel.run_until(sim::us(3));
+  ASSERT_EQ(codes.size(), 1u);
+  EXPECT_FALSE(sensor.measuring());
+  sensor.measure([&](std::uint64_t c) { codes.push_back(c); });
+  f.kernel.run_until(sim::us(6));
+  ASSERT_EQ(codes.size(), 2u);
+  EXPECT_GT(codes[1], 0u);
+  EXPECT_NEAR(double(codes[1]), double(codes[0]), double(codes[0]) * 0.1);
+}
+
 // ---- reference-free sensor -----------------------------------------------------------
 
 TEST(ReferenceFree, CodeAnchorsMatchFig5) {

@@ -111,6 +111,46 @@ TEST(StorageCap, NeverNegativeCharge) {
   EXPECT_DOUBLE_EQ(cap.voltage(), 0.0);
 }
 
+TEST(StorageCap, NegativeDepositChargeRemovesCharge) {
+  sim::Kernel k;
+  StorageCap cap(k, "store", 1e-9, 1.0);
+  cap.set_max_voltage(1.2);
+  // DC-DC input side: a negative injection is a withdrawal. V = Q/C
+  // must track, nothing may be attributed to the clamp, and the floor
+  // at zero charge must hold for over-withdrawal.
+  cap.deposit_charge(-0.4e-9);
+  EXPECT_NEAR(cap.voltage(), 0.6, 1e-15);
+  EXPECT_NEAR(cap.stored_energy(), 0.5 * 1e-9 * 0.36, 1e-21);
+  EXPECT_DOUBLE_EQ(cap.clamped_energy(), 0.0);
+  cap.deposit_charge(-5e-9);  // withdraw more than is stored
+  EXPECT_DOUBLE_EQ(cap.charge(), 0.0);
+  EXPECT_DOUBLE_EQ(cap.voltage(), 0.0);
+  EXPECT_DOUBLE_EQ(cap.clamped_energy(), 0.0);
+}
+
+TEST(StorageCap, ClampAccountsDiscardedEnergyAtCeiling) {
+  sim::Kernel k;
+  StorageCap cap(k, "store", 1e-6, 0.9);
+  cap.set_max_voltage(1.0);
+  // Stored 0.405 uJ; the ceiling holds 0.5 uJ. Depositing 0.3 uJ can
+  // only keep 95 nJ — the shunt dumps the rest and must account for it.
+  cap.deposit_energy(0.3e-6);
+  EXPECT_NEAR(cap.voltage(), 1.0, 1e-12);
+  EXPECT_NEAR(cap.stored_energy(), 0.5e-6, 1e-15);
+  EXPECT_NEAR(cap.clamped_energy(), 0.205e-6, 1e-15);
+  // Pinned at the ceiling, every further joule is dumped in full.
+  cap.deposit_energy(0.1e-6);
+  EXPECT_NEAR(cap.voltage(), 1.0, 1e-12);
+  EXPECT_NEAR(cap.clamped_energy(), 0.305e-6, 1e-15);
+  // Charge injection above the ceiling is clamped with mean-voltage
+  // energy accounting: +0.2 uC would reach 1.2 V; the kept part is the
+  // ceiling, the offered energy (mean of 1.0 and 1.2 V times 0.2 uC =
+  // 0.22 uJ on top of 0.5 uJ stored) minus the kept 0.5 uJ is dumped.
+  cap.deposit_charge(0.2e-6);
+  EXPECT_NEAR(cap.voltage(), 1.0, 1e-12);
+  EXPECT_NEAR(cap.clamped_energy(), 0.305e-6 + 0.22e-6, 1e-15);
+}
+
 TEST(SampleCap, SampleSetsVoltageBothDirections) {
   sim::Kernel k;
   SampleCap cap(k, "cs", 100e-12, 0.8);

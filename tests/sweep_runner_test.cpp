@@ -15,18 +15,20 @@
 #include "analysis/sweep_runner.hpp"
 #include "sim/kernel.hpp"
 
-// This file also covers the deprecated positional Scenario::param shim;
-// calling it here is the point.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
 namespace emc::analysis {
 namespace {
 
+// Scenario bodies on the raw runner carry their operating points in
+// caller-owned storage indexed by scenario position (Workbench bodies
+// get a typed ParamSet instead).
+const std::vector<double> kUnevenTicks = {4000, 10,   2000, 1,    800,  50,
+                                          3000, 5,    1500, 100,  2500, 20};
+
 // A scenario body that simulates `ticks` events on its own kernel and
 // reports the count — cheap, deterministic, and uneven across scenarios.
-ScenarioOutput simulate_point(const Scenario& s, std::size_t /*index*/) {
+ScenarioOutput simulate_point(const Scenario& s, std::size_t index) {
   sim::Kernel kernel;
-  const auto ticks = static_cast<std::uint64_t>(s.param(0));
+  const auto ticks = static_cast<std::uint64_t>(kUnevenTicks[index]);
   std::uint64_t fired = 0;
   for (std::uint64_t i = 0; i < ticks; ++i) {
     kernel.schedule(static_cast<sim::Time>(i % 11 + 1), [&fired] { ++fired; });
@@ -41,8 +43,7 @@ ScenarioOutput simulate_point(const Scenario& s, std::size_t /*index*/) {
 std::vector<Scenario> uneven_scenarios() {
   // Costs spanning 3 decades so a fast scenario finishes long before a
   // slow earlier one under parallel execution.
-  return scenarios_over("ticks", {4000, 10, 2000, 1, 800, 50, 3000, 5, 1500,
-                                  100, 2500, 20});
+  return scenarios_over("ticks", kUnevenTicks);
 }
 
 TEST(SweepRunner, ResultsInScenarioOrder) {
@@ -79,10 +80,16 @@ TEST(SweepRunner, CsvByteIdenticalAcrossThreadCounts) {
 
 TEST(SweepRunner, AggregatesKernelStats) {
   SweepRunner runner({"scenario", "fired"});
-  const auto report =
-      runner.run(scenarios_over("ticks", {10, 20, 30}), simulate_point);
-  EXPECT_EQ(report.kernel_stats.events_executed, 60u);
-  EXPECT_EQ(report.kernel_stats.events_scheduled, 60u);
+  // Indices 1, 11, 5 of the shared tick list: 10 + 20 + 50 events.
+  const std::vector<std::size_t> pick = {1, 11, 5};
+  std::vector<Scenario> scenarios;
+  for (std::size_t i : pick) scenarios.push_back(uneven_scenarios()[i]);
+  const auto report = runner.run(
+      scenarios, [&](const Scenario& s, std::size_t i) {
+        return simulate_point(s, pick[i]);
+      });
+  EXPECT_EQ(report.kernel_stats.events_executed, 80u);
+  EXPECT_EQ(report.kernel_stats.events_scheduled, 80u);
   EXPECT_FALSE(report.summary().empty());
 }
 
@@ -116,21 +123,13 @@ TEST(SweepRunner, LowestIndexExceptionWinsAtAnyThreadCount) {
   }
 }
 
-TEST(SweepRunner, ScenariosOverBuildsLabelsAndParams) {
+TEST(SweepRunner, ScenariosOverBuildsLabels) {
+  // Scenario is now label-only: the positional params bridge is gone
+  // (typed operating points travel as exp::ParamSet through Workbench).
   const auto s = scenarios_over("vdd", {0.25, 1.0});
   ASSERT_EQ(s.size(), 2u);
   EXPECT_EQ(s[0].label, "vdd=0.25");
-  EXPECT_DOUBLE_EQ(s[0].param(0), 0.25);
   EXPECT_EQ(s[1].label, "vdd=1");
-  EXPECT_DOUBLE_EQ(s[1].param(0), 1.0);
-}
-
-TEST(SweepRunnerDeathTest, OutOfRangePositionalParamAborts) {
-  // The old shim silently returned a fallback, which hid mislabeled
-  // grids; out-of-range positional access now dies loudly (also in
-  // Release — the check is unconditional, not assert()).
-  const auto s = scenarios_over("vdd", {0.25});
-  EXPECT_DEATH((void)s[0].param(7), "out of range");
 }
 
 TEST(SweepRunner, EnvVarControlsThreadResolution) {
