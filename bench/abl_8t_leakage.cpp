@@ -6,13 +6,15 @@
 #include <cstdio>
 
 #include "exp/workbench.hpp"
+#include "repro/registry.hpp"
 #include "sram/failure.hpp"
 
-int main() {
+static int run_abl_8t(const emc::repro::RunContext& ctx) {
   using namespace emc;
   analysis::print_banner("Ablation — 6T vs 8T cell bit-line leakage");
 
   exp::Workbench wb("abl_8t_leakage");
+  wb.threads(ctx.threads);
   wb.grid().over("vdd", {0.2, 0.3, 0.4, 0.6, 0.8, 1.0});
   wb.columns({"vdd_V", "column_leak_6T_nW", "column_leak_8T_nW",
               "reduction_x", "min_read_6T_V", "min_read_8T_V"});
@@ -33,10 +35,17 @@ int main() {
         .set("min_read_8T_V", r.min_read_8t, 3);
   });
   wb.table().print();
+  wb.write_csv();
   std::printf(
       "\nThe stacked read path cuts bit-line leakage ~%.1fx, which both "
       "saves retention\npower and lowers the sensable Vdd floor (deeper "
       "voltage range for the same array).\n",
       reduction.front());
+  ctx.add_stats(wb.report().kernel_stats);
   return 0;
 }
+
+REPRO_FIGURE(abl_8t_leakage)
+    .title("Ablation §III.A — 6T vs 8T cell bit-line leakage across Vdd")
+    .ref_csv("abl_8t_leakage.csv")
+    .run(run_abl_8t);

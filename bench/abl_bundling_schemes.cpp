@@ -9,15 +9,17 @@
 
 #include "exp/context_config.hpp"
 #include "exp/workbench.hpp"
+#include "repro/registry.hpp"
 #include "sram/bundled_sram.hpp"
 
-int main() {
+static int run_abl_bundling(const emc::repro::RunContext& ctx) {
   using namespace emc;
   analysis::print_banner(
       "Ablation — SRAM timing schemes: replica variants vs completion "
       "detection");
 
   exp::Workbench wb("abl_bundling_schemes");
+  wb.threads(ctx.threads);
   wb.grid().over("scheme", std::vector<std::string>{
                                "fixed-replica", "banded-replica",
                                "column-replica [8]",
@@ -62,6 +64,7 @@ int main() {
     rec.add_stats(ex.kernel().stats());
   });
   wb.table().print();
+  wb.write_csv();
 
   std::printf(
       "\nThe fixed replica dies at %.2f V; banding survives lower but "
@@ -70,5 +73,11 @@ int main() {
       "margin. Genuine completion detection waits exactly\nas long as "
       "the data needs — at any voltage.\n",
       fixed_onset);
+  ctx.add_stats(wb.report().kernel_stats);
   return 0;
 }
+
+REPRO_FIGURE(abl_bundling_schemes)
+    .title("Ablation [8] — replica timing schemes vs completion detection")
+    .ref_csv("abl_bundling_schemes.csv")
+    .run(run_abl_bundling);

@@ -7,14 +7,16 @@
 #include <cstdio>
 
 #include "exp/workbench.hpp"
+#include "repro/registry.hpp"
 #include "sram/failure.hpp"
 
-int main() {
+static int run_abl_sectioning(const emc::repro::RunContext& ctx) {
   using namespace emc;
   analysis::print_banner(
       "Ablation — completion-detection sectioning vs minimum read Vdd");
 
   exp::Workbench wb("abl_completion_sectioning");
+  wb.threads(ctx.threads);
   wb.grid().over("cells_per_section", std::vector<int>{64, 32, 16, 8, 4});
   wb.columns({"cells_per_section", "min_read_vdd_V", "read_delay_at_0.3V_ns",
               "detector_overhead_x"});
@@ -33,6 +35,7 @@ int main() {
         .set("detector_overhead_x", p.completion_overhead_factor, 3);
   });
   wb.table().print();
+  wb.write_csv();
   analysis::print_anchor("min Vdd with 8-cell sections (paper: below 0.3 V)",
                          0.30, min_vdd[3], "V");
   std::printf(
@@ -40,5 +43,11 @@ int main() {
       "fewer leaking\ncells per detector, so the cell current dominates "
       "down to lower Vdd — at the\nprice of one completion detector per "
       "section.\n");
+  ctx.add_stats(wb.report().kernel_stats);
   return 0;
 }
+
+REPRO_FIGURE(abl_completion_sectioning)
+    .title("Ablation §III.A — completion-detection sectioning vs min read Vdd")
+    .ref_csv("abl_completion_sectioning.csv")
+    .run(run_abl_sectioning);

@@ -17,9 +17,10 @@
 #include "analysis/table.hpp"
 #include "exp/context_config.hpp"
 #include "exp/workbench.hpp"
+#include "repro/registry.hpp"
 #include "sensor/charge_to_digital.hpp"
 
-int main() {
+static int run_fig11(const emc::repro::RunContext& ctx) {
   using namespace emc;
   analysis::print_banner(
       "Fig. 11 — C2D converter: code vs sampled Vin (Csample = 100 pF)");
@@ -86,5 +87,11 @@ int main() {
       "(%.3g transitions/nC,\nconstant across Vin within the V-weighting "
       "of per-edge charge).\n",
       codes.empty() ? 0.0 : codes.back());
+  ctx.add_stats(kernel.stats());
   return 0;
 }
+
+REPRO_FIGURE(fig11_charge_to_digital)
+    .title("Fig. 11 — charge-to-digital converter: code vs sampled Vin")
+    .ref_csv("fig11_c2d.csv")
+    .run(run_fig11);

@@ -17,6 +17,7 @@
 #include "analysis/table.hpp"
 #include "exp/context_config.hpp"
 #include "exp/workbench.hpp"
+#include "repro/registry.hpp"
 #include "sensor/calibration.hpp"
 #include "sensor/reference_free.hpp"
 
@@ -51,7 +52,8 @@ std::vector<double> stepped(double lo, double hi, double step) {
 
 }  // namespace
 
-int main() {
+static int run_fig12(const emc::repro::RunContext& ctx) {
+  (void)ctx;  // serial single-kernel readings; nothing to parallelize
   analysis::print_banner(
       "Fig. 12 — reference-free voltage sensor (SRAM vs inverter-chain race)");
 
@@ -120,3 +122,8 @@ int main() {
       "read as a digital code.\n");
   return 0;
 }
+
+REPRO_FIGURE(fig12_reference_free_sensor)
+    .title("Fig. 12 — reference-free voltage sensor: calibration + accuracy")
+    .ref_csv("fig12_refree.csv")
+    .run(run_fig12);

@@ -17,6 +17,7 @@
 #include "async/pipeline.hpp"
 #include "exp/context_config.hpp"
 #include "exp/workbench.hpp"
+#include "repro/registry.hpp"
 
 namespace {
 
@@ -82,7 +83,7 @@ EngineResult clocked_ops(double energy_j) {
 
 }  // namespace
 
-int main() {
+static int run_fig1(const emc::repro::RunContext& ctx) {
   analysis::print_banner(
       "Fig. 1 — energy-proportional computing: useful ops vs energy quantum");
   std::printf(
@@ -90,6 +91,7 @@ int main() {
       "0.5 V regulator floor).\n\n");
 
   exp::Workbench wb("fig1_proportionality");
+  wb.threads(ctx.threads);
   wb.grid().over("energy_nJ",
                  {0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0});
   wb.columns({"energy_nJ", "selftimed_ops", "clocked_ops"});
@@ -130,5 +132,11 @@ int main() {
   std::printf("  at 0.5 nJ: self-timed completed %llu ops, clocked %llu.\n",
               static_cast<unsigned long long>(st_small),
               static_cast<unsigned long long>(ck_small));
+  ctx.add_stats(report.kernel_stats);
   return 0;
 }
+
+REPRO_FIGURE(fig1_proportionality)
+    .title("Fig. 1 — useful ops vs energy quantum: self-timed vs clocked")
+    .ref_csv("fig1_proportionality.csv")
+    .run(run_fig1);

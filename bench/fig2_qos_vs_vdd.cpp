@@ -19,6 +19,7 @@
 #include "exp/context_config.hpp"
 #include "exp/workbench.hpp"
 #include "power/qos.hpp"
+#include "repro/registry.hpp"
 
 namespace {
 
@@ -70,11 +71,12 @@ struct PointPair {
 
 }  // namespace
 
-int main() {
+static int run_fig2(const emc::repro::RunContext& ctx) {
   analysis::print_banner("Fig. 2 — QoS vs Vdd: Design 1 (SI dual-rail) vs "
                          "Design 2 (bundled data) vs hybrid");
 
   exp::Workbench wb("fig2_qos_vs_vdd");
+  wb.threads(ctx.threads);
   wb.grid().over("vdd", analysis::vdd_grid());
   wb.columns({"vdd_V", "d1_qos_ops_s", "d1_eff_ops_uJ", "d2_qos_ops_s",
               "d2_eff_ops_uJ", "d2_err_rate", "winner"});
@@ -138,5 +140,11 @@ int main() {
       "(%.1fx QoS/W at 1.0 V).\n",
       th1.value_or(0.0),
       d2.at(1.0).qos_per_watt() / d1.at(1.0).qos_per_watt());
+  ctx.add_stats(report.kernel_stats);
   return 0;
 }
+
+REPRO_FIGURE(fig2_qos_vs_vdd)
+    .title("Fig. 2 — QoS vs Vdd: SI dual-rail vs bundled data vs hybrid")
+    .ref_csv("fig2_qos_vs_vdd.csv")
+    .run(run_fig2);

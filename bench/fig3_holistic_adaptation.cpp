@@ -26,6 +26,7 @@
 #include "exp/workbench.hpp"
 #include "power/adaptive_controller.hpp"
 #include "power/power_meter.hpp"
+#include "repro/registry.hpp"
 #include "sched/energy_token.hpp"
 #include "sched/scheduler.hpp"
 #include "sched/task.hpp"
@@ -115,7 +116,7 @@ Outcome run_system(int which, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+static int run_fig3(const emc::repro::RunContext& ctx) {
   analysis::print_banner(
       "Fig. 3 — holistic power-adaptive system: harvester -> MPPT -> store "
       "-> modulated load");
@@ -127,6 +128,7 @@ int main() {
   // One scenario per (system, seed) pair; the grid is typed — seeds are
   // ints, not doubles smuggled through positional slots.
   exp::Workbench wb("fig3_holistic_adaptation");
+  wb.threads(ctx.threads);
   wb.grid().over("system", std::vector<int>{0, 1, 2});
   wb.grid().over("seed", std::vector<int>{11, 22, 33});
   wb.columns({"system", "seed", "completed", "aborted", "useful_uJ"});
@@ -189,5 +191,11 @@ int main() {
       "the\nnode never rides the store into its reserve during harvest "
       "dead-spells.\n",
       aborted[0], completed[2], completed[0]);
+  ctx.add_stats(report.kernel_stats);
   return 0;
 }
+
+REPRO_FIGURE(fig3_holistic_adaptation)
+    .title("Fig. 3 — harvester->MPPT->store->load: fixed vs token vs adaptive")
+    .ref_csv("fig3_holistic_adaptation.csv")
+    .run(run_fig3);

@@ -16,9 +16,10 @@
 #include "async/checker.hpp"
 #include "async/counter.hpp"
 #include "exp/context_config.hpp"
+#include "repro/registry.hpp"
 #include "sim/trace.hpp"
 
-int main() {
+static int run_fig4(const emc::repro::RunContext& ctx) {
   using namespace emc;
   analysis::print_banner(
       "Fig. 4 — dual-rail counter under AC supply 200mV +/- 100mV @ 1 MHz");
@@ -68,6 +69,7 @@ int main() {
                    analysis::Table::num(double(by_phase[bin]) / 50.0, 3)});
   }
   table.print();
+  table.write_csv("fig4_counter_ac.csv");
 
   std::printf("\nSpeed-independence verdict over 50 AC cycles:\n");
   std::printf("  increments completed : %llu\n",
@@ -93,5 +95,13 @@ int main() {
       static_cast<unsigned long long>(bc.count()),
       static_cast<unsigned long long>(bc.errors()),
       bc.count() ? 100.0 * double(bc.errors()) / double(bc.count()) : 0.0);
+  ctx.add_stats(kernel.stats());
+  ctx.add_stats(ex2.kernel().stats());
   return 0;
 }
+
+REPRO_FIGURE(fig4_counter_ac)
+    .title("Fig. 4 — dual-rail counter on 200mV +/- 100mV AC supply")
+    .ref_csv("fig4_counter_ac.csv")
+    .artifact("fig4_counter_ac.vcd")
+    .run(run_fig4);

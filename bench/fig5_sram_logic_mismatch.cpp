@@ -18,33 +18,35 @@
 #include "device/delay_model.hpp"
 #include "device/variation.hpp"
 #include "exp/workbench.hpp"
+#include "repro/registry.hpp"
 #include "sram/bitline.hpp"
 #include "sram/cell.hpp"
 
 namespace {
 constexpr std::size_t kTrials = 24;
-constexpr std::uint64_t kBaseSeed = 5;
+constexpr std::size_t kSmokeTrials = 4;
 constexpr double kVthSigma = 0.020;  // 20 mV local mismatch
 constexpr std::size_t kWordBits = 16;
 constexpr std::uint64_t kRulerId = 0;     // the reference inverter
 constexpr std::uint64_t kCellBaseId = 1;  // the addressed word's cells
 }  // namespace
 
-int main() {
+static int run_fig5(const emc::repro::RunContext& ctx) {
   using namespace emc;
   analysis::print_banner(
       "Fig. 5 — SRAM read delay in inverter-delay units vs Vdd "
       "(Monte-Carlo)");
 
   exp::Workbench wb("fig5_mismatch_trials");
+  wb.threads(ctx.threads);
   wb.grid().over("vdd", analysis::vdd_grid());
-  wb.replicate(kTrials, kBaseSeed);
+  wb.replicate(ctx.smoke() ? kSmokeTrials : kTrials, ctx.seed);
   wb.columns({"vdd_V", "trial", "inv_delay_ps", "sram_read_ns",
               "sram_in_inverters"});
 
   const device::Variation variation = device::Variation::local(kVthSigma);
 
-  wb.run([&](const exp::ParamSet& p, exp::Recorder& rec) {
+  const auto& report = wb.run([&](const exp::ParamSet& p, exp::Recorder& rec) {
     const double v = p.get<double>("vdd");
     const device::VariationSampler sampler(variation,
                                            p.get<std::uint64_t>("trial_seed"));
@@ -87,5 +89,14 @@ int main() {
       "cannot\neven bundle two *chips* at the same Vdd. Distribution "
       "written to\nfig5_mismatch.csv (raw trials: "
       "fig5_mismatch_trials.csv).\n");
+  ctx.add_stats(report.kernel_stats);
   return 0;
 }
+
+REPRO_FIGURE(fig5_sram_logic_mismatch)
+    .title("Fig. 5 — SRAM read delay in inverter units vs Vdd (Monte-Carlo)")
+    .ref_csv("fig5_mismatch.csv")
+    .ref_csv("fig5_mismatch_trials.csv")
+    .seed(5)
+    .smoke_mode()
+    .run(run_fig5);

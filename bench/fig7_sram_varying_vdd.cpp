@@ -15,6 +15,7 @@
 
 #include "exp/context_config.hpp"
 #include "exp/workbench.hpp"
+#include "repro/registry.hpp"
 #include "sim/trace.hpp"
 #include "sram/si_controller.hpp"
 
@@ -55,12 +56,13 @@ OpPair measure_point(double vdd, sim::Kernel::Stats* stats) {
 
 }  // namespace
 
-int main() {
+static int run_fig7(const emc::repro::RunContext& ctx) {
   analysis::print_banner(
       "Fig. 7 — SI SRAM under varying Vdd (sweep + ramp demo)");
 
   // Part 1: operating-point sweep, one kernel per Vdd.
   exp::Workbench wb("fig7_sram_varying_vdd");
+  wb.threads(ctx.threads);
   wb.grid().over("vdd", {0.25, 0.3, 0.4, 0.6, 0.8, 1.0});
   wb.columns({"vdd_V", "write_latency_us", "write_pJ", "read_latency_us",
               "read_pJ", "completed_ok"});
@@ -153,5 +155,13 @@ int main() {
                 r.latency_s * 1e6, r.ok ? "ok" : "FAILED");
   }
   std::printf("Handshake trace: fig7_sram_handshakes.vcd\n");
+  ctx.add_stats(report.kernel_stats);
+  ctx.add_stats(kernel.stats());
   return 0;
 }
+
+REPRO_FIGURE(fig7_sram_varying_vdd)
+    .title("Fig. 7 — SI SRAM across Vdd: sweep + mid-ramp handshake demo")
+    .ref_csv("fig7_sram_varying_vdd.csv")
+    .artifact("fig7_sram_handshakes.vcd")
+    .run(run_fig7);

@@ -26,13 +26,14 @@
 #include "device/delay_model.hpp"
 #include "device/variation.hpp"
 #include "exp/workbench.hpp"
+#include "repro/registry.hpp"
 #include "sram/bitline.hpp"
 #include "sram/cell.hpp"
 
 namespace {
 
 constexpr std::size_t kTrials = 60;
-constexpr std::uint64_t kBaseSeed = 2026;
+constexpr std::size_t kSmokeTrials = 6;
 constexpr std::size_t kLogicStages = 16;
 constexpr std::size_t kSramCells = 64;
 /// Timing margin of the hypothetical bundled design: a sampled path
@@ -51,21 +52,22 @@ constexpr std::uint64_t kSramBaseId = 1000;
 
 }  // namespace
 
-int main() {
+static int run_fig_mc_yield(const emc::repro::RunContext& ctx) {
   using namespace emc;
   analysis::print_banner(
       "Monte-Carlo yield — SRAM + logic survival vs Vdd under variation");
 
   exp::Workbench wb("fig_mc_yield_trials");
+  wb.threads(ctx.threads);
   wb.grid().over("vdd", analysis::vdd_grid());
-  wb.replicate(kTrials, kBaseSeed);
+  wb.replicate(ctx.smoke() ? kSmokeTrials : kTrials, ctx.seed);
   wb.columns({"vdd_V", "trial", "path_ratio", "worst_vth_mV", "sram_ok",
               "logic_ok", "chip_ok"});
 
   const device::Variation variation =
       device::Variation::local(kVthSigma, kStrengthSigma);
 
-  wb.run([&](const exp::ParamSet& p, exp::Recorder& rec) {
+  const auto& report = wb.run([&](const exp::ParamSet& p, exp::Recorder& rec) {
     const double v = p.get<double>("vdd");
     const device::VariationSampler sampler(variation,
                                            p.get<std::uint64_t>("trial_seed"));
@@ -122,5 +124,14 @@ int main() {
       "detection would track each chip's own speed instead. Yield curves\n"
       "written to fig_mc_yield.csv (raw trials: fig_mc_yield_trials.csv).\n",
       kSramCells, (kLogicMargin - 1.0) * 100.0);
+  ctx.add_stats(report.kernel_stats);
   return 0;
 }
+
+REPRO_FIGURE(fig_mc_yield)
+    .title("MC yield — SRAM + logic survival vs Vdd over 60 virtual chips")
+    .ref_csv("fig_mc_yield.csv")
+    .ref_csv("fig_mc_yield_trials.csv")
+    .seed(2026)
+    .smoke_mode()
+    .run(run_fig_mc_yield);

@@ -11,15 +11,17 @@
 #include <cstdio>
 
 #include "exp/workbench.hpp"
+#include "repro/registry.hpp"
 #include "sched/petri.hpp"
 #include "sim/random.hpp"
 
-int main() {
+static int run_tab_energy_tokens(const emc::repro::RunContext& ctx) {
   using namespace emc;
   analysis::print_banner(
       "Table — energy-token Petri net scheduling ([15])");
 
   exp::Workbench wb("tab_energy_tokens");
+  wb.threads(ctx.threads);
   wb.grid().over("energy_rate_tok_ms", {5.0, 20.0, 60.0, 200.0});
   wb.columns({"energy_rate_tok_ms", "jobs_done_in_20ms", "energy_spent",
               "throughput_jobs_ms"});
@@ -53,9 +55,16 @@ int main() {
     rec.add_stats(kernel.stats());
   });
   wb.table().print();
+  wb.write_csv();
   std::printf(
       "\nBehaviour is energy-modulated: the job rate tracks the token "
       "arrival rate until\nthe structural bound of the graph saturates; "
       "tokens are conserved throughout.\n");
+  ctx.add_stats(wb.report().kernel_stats);
   return 0;
 }
+
+REPRO_FIGURE(tab_energy_tokens)
+    .title("Table [15] — energy-token Petri net: throughput vs arrival rate")
+    .ref_csv("tab_energy_tokens.csv")
+    .run(run_tab_energy_tokens);

@@ -15,21 +15,23 @@
 #include "analysis/aggregate.hpp"
 #include "device/variation.hpp"
 #include "exp/workbench.hpp"
+#include "repro/registry.hpp"
 #include "sram/failure.hpp"
 
 namespace {
 constexpr std::size_t kTrials = 24;
-constexpr std::uint64_t kBaseSeed = 8;
+constexpr std::size_t kSmokeTrials = 4;
 constexpr double kVthSigma = 0.020;  // 20 mV local cell mismatch
 constexpr std::uint64_t kCellBaseId = 0;
 }  // namespace
 
-int main() {
+static int run_tab_sram_corners(const emc::repro::RunContext& ctx) {
   using namespace emc;
   analysis::print_banner(
       "Table — SI SRAM corner & failure analysis (Monte-Carlo)");
 
   exp::Workbench wb("tab_sram_corners_trials");
+  wb.threads(ctx.threads);
   // Grid axis AND per-corner tech both come from the producer's
   // corner_techs(), so a corner added or renamed in
   // sram::FailureAnalysis can neither silently drop out of the table
@@ -40,13 +42,13 @@ int main() {
     corner_names.push_back(name);
   }
   wb.grid().over("corner", corner_names);
-  wb.replicate(kTrials, kBaseSeed);
+  wb.replicate(ctx.smoke() ? kSmokeTrials : kTrials, ctx.seed);
   wb.columns({"corner", "trial", "min_read_V", "min_write_V", "retention_V",
               "read@1V_ns", "read@0.19V_us", "ratio@1V", "ratio@0.19V"});
 
   const device::Variation variation = device::Variation::local(kVthSigma);
 
-  wb.run([&](const exp::ParamSet& p, exp::Recorder& rec) {
+  const auto& report = wb.run([&](const exp::ParamSet& p, exp::Recorder& rec) {
     const std::string corner = p.get<std::string>("corner");
     const device::VariationSampler sampler(variation,
                                            p.get<std::uint64_t>("trial_seed"));
@@ -98,6 +100,7 @@ int main() {
                                   .precision(4)
                                   .reduce(wb.table());
   agg.print();
+  agg.write_csv("tab_sram_corners.csv");
   wb.write_csv();  // raw (corner, trial) rows
 
   std::printf(
@@ -105,5 +108,14 @@ int main() {
       "detection absorbs\nthe full corner spread *and* the per-chip "
       "mismatch spread above (the bundled\nbaselines would need the slow "
       "corner's p95 margin and would waste it everywhere\nelse).\n");
+  ctx.add_stats(report.kernel_stats);
   return 0;
 }
+
+REPRO_FIGURE(tab_sram_corners)
+    .title("Table [8] — SRAM corner + mismatch distributions (Monte-Carlo)")
+    .ref_csv("tab_sram_corners.csv")
+    .ref_csv("tab_sram_corners_trials.csv")
+    .seed(8)
+    .smoke_mode()
+    .run(run_tab_sram_corners);

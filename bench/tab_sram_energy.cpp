@@ -13,11 +13,12 @@
 #include "analysis/sweep.hpp"
 #include "device/delay_model.hpp"
 #include "exp/workbench.hpp"
+#include "repro/registry.hpp"
 #include "sram/bitline.hpp"
 #include "sram/cell.hpp"
 #include "sram/energy.hpp"
 
-int main() {
+static int run_tab_sram_energy(const emc::repro::RunContext& ctx) {
   using namespace emc;
   analysis::print_banner("Table — SI SRAM energy per operation vs Vdd");
 
@@ -28,6 +29,7 @@ int main() {
   }
 
   exp::Workbench wb("tab_sram_energy");
+  wb.threads(ctx.threads);
   wb.grid().over("vdd", grid);
   wb.columns({"vdd_V", "write_dyn_pJ", "write_leak_pJ", "write_total_pJ",
               "read_total_pJ", "t_write_us"});
@@ -83,5 +85,11 @@ int main() {
       "discussion of the %.0f mV offset.\n",
       v_min, energy.energy_per_write(v_min) * 1e12,
       std::fabs(v_min - 0.4) * 1000.0);
+  ctx.add_stats(wb.report().kernel_stats);
   return 0;
 }
+
+REPRO_FIGURE(tab_sram_energy)
+    .title("Table §III.A — SRAM energy per op vs Vdd (U-curve, 0.4 V minimum)")
+    .ref_csv("tab_sram_energy.csv")
+    .run(run_tab_sram_energy);

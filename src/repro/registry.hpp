@@ -1,0 +1,152 @@
+// Reproduction registry — figures/tables as first-class subsystem.
+//
+// Every bench under bench/ used to be a bespoke main(); CI verified them
+// through hand-copied shell snippets naming individual binaries and ref
+// CSVs. The registry inverts that: a bench *registers* a Figure
+// descriptor (title, produced artifacts, which of them are byte-compared
+// against bench/refs/, default seed, smoke capability) plus a run
+// function, and the single `emc_repro` driver derives everything else —
+// the determinism cross-check, the drift gate, the manifest, the CI
+// steps. Adding a figure == registering it; the build, the gates and the
+// artifact list follow automatically.
+//
+// Registration happens from static initializers in the bench translation
+// units, which are linked *directly* into the emc_repro executable (and
+// into their thin standalone binaries) — never through a static library,
+// which would drop unreferenced registration objects.
+//
+// Usage, at the bottom of a bench .cpp (replacing main()):
+//
+//   static int run_fig2(const emc::repro::RunContext& ctx) { ... }
+//   REPRO_FIGURE(fig2_qos_vs_vdd)
+//       .title("QoS vs Vdd: SI dual-rail vs bundled vs hybrid")
+//       .ref_csv("fig2_qos_vs_vdd.csv")
+//       .run(run_fig2);
+//
+// The macro argument doubles as the registry key and must match the
+// source file's stem — CMake generates the standalone target's main()
+// from the same name.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/kernel.hpp"
+
+namespace emc::repro {
+
+enum class Mode { kFull, kSmoke };
+
+/// Per-run knobs handed to a figure body, plus the stats channel the
+/// body reports its kernel totals through (they land in the manifest).
+class RunContext {
+ public:
+  /// Full reproduces the recorded refs; smoke may shrink Monte-Carlo
+  /// trial counts etc. for fast pipe-cleaning (artifacts then do NOT
+  /// match the refs, so the driver refuses --check in smoke mode).
+  Mode mode = Mode::kFull;
+
+  /// Sweep-thread override threaded into Workbench/SweepRunner by the
+  /// body (0 = EMC_SWEEP_THREADS / hardware default). This is how
+  /// --threads-cross-check re-runs a figure at several thread counts
+  /// without racing on the process environment.
+  unsigned threads = 0;
+
+  /// The figure's default_seed unless overridden with --seed.
+  std::uint64_t seed = 0;
+
+  bool smoke() const { return mode == Mode::kSmoke; }
+
+  /// Fold a kernel's execution stats into the figure's manifest record.
+  void add_stats(const sim::Kernel::Stats& s) const { stats_ += s; }
+  const sim::Kernel::Stats& stats() const { return stats_; }
+
+ private:
+  mutable sim::Kernel::Stats stats_;
+};
+
+using RunFn = int (*)(const RunContext&);
+
+/// One registered reproduction target.
+struct Figure {
+  std::string name;   // registry key == bench file stem == binary name
+  std::string title;  // one-line description for `emc_repro list`
+  /// Every file the run writes into the working directory (manifest
+  /// scope; also the set compared across thread counts).
+  std::vector<std::string> artifacts;
+  /// Subset of `artifacts` that is byte-compared against
+  /// bench/refs/<file> under --check.
+  std::vector<std::string> refs;
+  std::uint64_t default_seed = 0;
+  bool smoke_capable = false;
+  RunFn run = nullptr;
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Register a figure. A duplicate name aborts the process — two
+  /// benches silently shadowing each other is a build error, not a
+  /// runtime preference.
+  void add(Figure f);
+
+  /// All figures, sorted by name (static-init order is link-order
+  /// dependent; the registry's view is not).
+  std::vector<const Figure*> figures() const;
+
+  const Figure* find(const std::string& name) const;
+
+ private:
+  std::vector<Figure> figures_;
+};
+
+/// Registration token (the static object the macro defines).
+struct Registration {};
+
+/// Fluent descriptor builder; `.run(fn)` finalizes and registers.
+class FigureBuilder {
+ public:
+  explicit FigureBuilder(const char* name) { fig_.name = name; }
+
+  FigureBuilder& title(const char* t) {
+    fig_.title = t;
+    return *this;
+  }
+  /// Declare a produced file that has a recorded reference CSV.
+  FigureBuilder& ref_csv(const char* file) {
+    fig_.artifacts.push_back(file);
+    fig_.refs.push_back(file);
+    return *this;
+  }
+  /// Declare a produced file without a reference (VCD traces etc.).
+  FigureBuilder& artifact(const char* file) {
+    fig_.artifacts.push_back(file);
+    return *this;
+  }
+  FigureBuilder& seed(std::uint64_t s) {
+    fig_.default_seed = s;
+    return *this;
+  }
+  /// The body honors RunContext::smoke().
+  FigureBuilder& smoke_mode() {
+    fig_.smoke_capable = true;
+    return *this;
+  }
+
+  Registration run(RunFn fn) {
+    fig_.run = fn;
+    Registry::instance().add(std::move(fig_));
+    return {};
+  }
+
+ private:
+  Figure fig_;
+};
+
+#define REPRO_FIGURE(name)                                             \
+  static const ::emc::repro::Registration name##_figure_registration = \
+      ::emc::repro::FigureBuilder(#name)
+
+}  // namespace emc::repro

@@ -19,8 +19,8 @@ EnergyPetriNet::TransitionId EnergyPetriNet::add_transition(
     std::string name, std::vector<PlaceId> inputs,
     std::vector<PlaceId> outputs, std::uint64_t energy_cost,
     sim::Time duration) {
-  for (PlaceId p : inputs) assert(p < places_.size());
-  for (PlaceId p : outputs) assert(p < places_.size());
+  for ([[maybe_unused]] PlaceId p : inputs) assert(p < places_.size());
+  for ([[maybe_unused]] PlaceId p : outputs) assert(p < places_.size());
   transitions_.push_back(Transition{std::move(name), std::move(inputs),
                                     std::move(outputs), energy_cost, duration});
   return transitions_.size() - 1;

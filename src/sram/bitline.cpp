@@ -23,7 +23,6 @@ double BitlineDynamics::read_delay_seconds(double vdd,
 }
 
 double BitlineDynamics::write_delay_seconds(double vdd) const {
-  const auto& tech = cell_->delay_model().tech();
   if (!cell_->delay_model().operational(vdd)) {
     return std::numeric_limits<double>::infinity();
   }

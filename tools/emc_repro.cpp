@@ -1,0 +1,9 @@
+// emc_repro — CLI entry point. The figure registrations come from the
+// bench translation units linked into this executable; see
+// src/repro/registry.hpp for the registration contract and
+// src/repro/driver.hpp for the command surface.
+#include "repro/driver.hpp"
+
+int main(int argc, char** argv) {
+  return emc::repro::driver_main(argc, argv);
+}
