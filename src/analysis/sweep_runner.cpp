@@ -63,9 +63,9 @@ unsigned SweepRunner::threads_for(std::size_t n) const {
       std::min<std::size_t>(t, std::max<std::size_t>(n, 1)));
 }
 
-void SweepRunner::for_indexed(std::size_t n, unsigned threads,
-                              const std::function<void(std::size_t)>& fn,
-                              std::size_t chunk) {
+void SweepRunner::for_indexed_workers(
+    std::size_t n, unsigned threads,
+    const std::function<void(std::size_t, unsigned)>& fn, std::size_t chunk) {
   if (n == 0) return;
   if (chunk == 0) chunk = 1;
   threads = static_cast<unsigned>(
@@ -77,14 +77,14 @@ void SweepRunner::for_indexed(std::size_t n, unsigned threads,
   std::vector<std::exception_ptr> errors(n);
 
   std::atomic<std::size_t> next{0};
-  auto worker = [&] {
+  auto worker = [&](unsigned worker_id) {
     for (;;) {
       const std::size_t begin = next.fetch_add(chunk);
       if (begin >= n) return;
       const std::size_t end = std::min(begin + chunk, n);
       for (std::size_t i = begin; i < end; ++i) {
         try {
-          fn(i);
+          fn(i, worker_id);
         } catch (...) {
           errors[i] = std::current_exception();
         }
@@ -95,11 +95,11 @@ void SweepRunner::for_indexed(std::size_t n, unsigned threads,
   if (threads == 1) {
     // Serial path: run inline, no pool. This is the reference ordering
     // the determinism test compares against.
-    worker();
+    worker(0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker, t);
     for (auto& th : pool) th.join();
   }
 
@@ -108,15 +108,22 @@ void SweepRunner::for_indexed(std::size_t n, unsigned threads,
   }
 }
 
-SweepReport SweepRunner::run(const std::vector<Scenario>& scenarios,
-                             const Body& body) const {
+void SweepRunner::for_indexed(std::size_t n, unsigned threads,
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t chunk) {
+  for_indexed_workers(
+      n, threads, [&](std::size_t i, unsigned) { fn(i); }, chunk);
+}
+
+SweepReport SweepRunner::run_workers(const std::vector<Scenario>& scenarios,
+                                     const WorkerBody& body) const {
   const auto wall_start = std::chrono::steady_clock::now();
   const unsigned threads = threads_for(scenarios.size());
 
   std::vector<ScenarioOutput> outputs(scenarios.size());
-  for_indexed(
+  for_indexed_workers(
       scenarios.size(), threads,
-      [&](std::size_t i) { outputs[i] = body(scenarios[i], i); },
+      [&](std::size_t i, unsigned w) { outputs[i] = body(scenarios[i], i, w); },
       opt_.chunk);
 
   SweepReport report;
@@ -132,6 +139,13 @@ SweepReport SweepRunner::run(const std::vector<Scenario>& scenarios,
                                     wall_start)
           .count();
   return report;
+}
+
+SweepReport SweepRunner::run(const std::vector<Scenario>& scenarios,
+                             const Body& body) const {
+  return run_workers(
+      scenarios,
+      [&](const Scenario& s, std::size_t i, unsigned) { return body(s, i); });
 }
 
 }  // namespace emc::analysis

@@ -95,6 +95,21 @@ class SweepRunner {
   SweepReport run(const std::vector<Scenario>& scenarios,
                   const Body& body) const;
 
+  /// Worker-aware scenario body: additionally receives the id of the
+  /// worker thread executing it, in [0, threads). Bodies use it to
+  /// index per-worker reusable state (a scratch Kernel or Experiment
+  /// elaborated once and rebound per scenario) — the state is touched
+  /// by one thread at a time, and as long as it is fully reset between
+  /// scenarios, results are independent of which worker ran what, so
+  /// the byte-identical-at-any-thread-count contract holds unchanged.
+  using WorkerBody =
+      std::function<ScenarioOutput(const Scenario&, std::size_t, unsigned)>;
+
+  /// run() with a worker-aware body. `threads()` tells the caller how
+  /// many worker slots to provision for a given scenario count.
+  SweepReport run_workers(const std::vector<Scenario>& scenarios,
+                          const WorkerBody& body) const;
+
   /// Threads a sweep of `n` scenarios will actually use.
   unsigned threads_for(std::size_t n) const;
 
@@ -121,6 +136,15 @@ class SweepRunner {
   static void for_indexed(std::size_t n, unsigned threads,
                           const std::function<void(std::size_t)>& fn,
                           std::size_t chunk = 1);
+
+  /// for_indexed with the executing worker's id passed alongside the
+  /// index (see WorkerBody). Worker ids are dense in [0, threads') where
+  /// threads' is the clamped thread count the loop actually used; the
+  /// serial path runs everything as worker 0.
+  static void for_indexed_workers(
+      std::size_t n, unsigned threads,
+      const std::function<void(std::size_t, unsigned)>& fn,
+      std::size_t chunk = 1);
 
  private:
   std::vector<std::string> headers_;

@@ -1,6 +1,7 @@
 #include "exp/workbench.hpp"
 
 #include <cstdio>
+#include <optional>
 
 #include "analysis/table.hpp"
 #include "sim/random.hpp"
@@ -174,7 +175,7 @@ Workbench& Workbench::replicate(std::size_t n_trials, std::uint64_t base_seed) {
   return *this;
 }
 
-const analysis::SweepReport& Workbench::run(const Body& body) {
+std::vector<analysis::Scenario> Workbench::materialize_scenarios() {
   params_ = explicit_scenarios_ ? explicit_params_ : grid_.build();
 
   if (trials_ > 1) {
@@ -204,12 +205,42 @@ const analysis::SweepReport& Workbench::run(const Body& body) {
   for (const auto& p : params_) {
     scenarios.push_back(analysis::Scenario{p.label()});
   }
+  return scenarios;
+}
 
+const analysis::SweepReport& Workbench::run(const Body& body) {
+  const std::vector<analysis::Scenario> scenarios = materialize_scenarios();
   analysis::SweepRunner runner(columns_, opt_);
   report_ = runner.run(
       scenarios, [&](const analysis::Scenario& s, std::size_t i) {
         Recorder rec(&columns_, i, &s.label);
         body(params_[i], rec);
+        return std::move(rec.output_);
+      });
+  return report_;
+}
+
+const analysis::SweepReport& Workbench::run_reusing(const ConfigOf& config_of,
+                                                    const ReuseBody& body) {
+  const std::vector<analysis::Scenario> scenarios = materialize_scenarios();
+  analysis::SweepRunner runner(columns_, opt_);
+  // One Experiment slot per worker the runner may spin up. A slot
+  // elaborates on its worker's first scenario and rebinds thereafter;
+  // since a rebound stack is behaviourally identical to a fresh build,
+  // it does not matter which scenarios land on which worker.
+  std::vector<std::optional<Experiment>> stacks(
+      runner.threads_for(scenarios.size()));
+  report_ = runner.run_workers(
+      scenarios, [&](const analysis::Scenario& s, std::size_t i, unsigned w) {
+        Recorder rec(&columns_, i, &s.label);
+        const ContextConfig cfg = config_of(params_[i]);
+        std::optional<Experiment>& stack = stacks[w];
+        if (stack) {
+          stack->rebind(cfg);
+        } else {
+          stack.emplace(cfg.build());
+        }
+        body(*stack, params_[i], rec);
         return std::move(rec.output_);
       });
   return report_;

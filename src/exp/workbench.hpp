@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "analysis/sweep_runner.hpp"
+#include "exp/context_config.hpp"
 #include "exp/param_set.hpp"
 
 namespace emc::exp {
@@ -189,6 +190,27 @@ class Workbench {
   /// land in scenario order. The report stays readable via report().
   const analysis::SweepReport& run(const Body& body);
 
+  /// Body for the experiment-reusing run: receives the worker's live
+  /// Experiment stack (already reset and rebound to this scenario's
+  /// config) alongside the usual parameters and recorder.
+  using ReuseBody =
+      std::function<void(Experiment&, const ParamSet&, Recorder&)>;
+  /// Maps a scenario's parameters to the context it needs. Called from
+  /// worker threads — must be pure (no shared mutable state).
+  using ConfigOf = std::function<ContextConfig(const ParamSet&)>;
+
+  /// run() without the per-scenario elaboration cost: each worker
+  /// thread elaborates one Experiment (config_of of its first scenario)
+  /// and *rebinds* it — Kernel::reset() + in-place supply/meter
+  /// re-elaboration, keeping the warm event slab and drive arena — for
+  /// every subsequent scenario. Bodies must build their circuit from
+  /// ex.ctx() and let it be destroyed before returning (scoped locals
+  /// do this naturally); given that, a rebound stack is behaviourally
+  /// identical to a fresh build, so tables stay byte-identical to run()
+  /// at any thread count (tests/reuse_test.cpp holds both contracts).
+  const analysis::SweepReport& run_reusing(const ConfigOf& config_of,
+                                           const ReuseBody& body);
+
   const std::string& name() const { return name_; }
   const std::vector<ParamSet>& scenario_params() const { return params_; }
   const analysis::SweepReport& report() const { return report_; }
@@ -200,6 +222,10 @@ class Workbench {
   bool write_csv(const std::string& path);
 
  private:
+  /// Expand the grid (and trial axis) into params_ and derive the
+  /// labeled scenario list — the shared front half of run/run_reusing.
+  std::vector<analysis::Scenario> materialize_scenarios();
+
   std::string name_;
   Grid grid_;
   std::vector<ParamSet> params_;          // as run (trial axis expanded)

@@ -1,0 +1,51 @@
+#include "gates/drive_arena.hpp"
+
+#include "device/delay_model.hpp"
+#include "supply/supply.hpp"
+
+namespace emc::gates {
+
+DriveArena::Slot DriveArena::acquire(double delay_cload, double switch_cload,
+                                     double vth_offset, double strength) {
+  Slot s;
+  if (!free_.empty()) {
+    s = free_.back();
+    free_.pop_back();
+  } else {
+    s = static_cast<Slot>(epoch_.size());
+    epoch_.push_back(0);
+    delay_.push_back(0);
+    charge_.push_back(0.0);
+    energy_.push_back(0.0);
+    delay_cload_.push_back(0.0);
+    switch_cload_.push_back(0.0);
+    vth_offset_.push_back(0.0);
+    strength_.push_back(1.0);
+  }
+  epoch_[s] = 0;
+  delay_cload_[s] = delay_cload;
+  switch_cload_[s] = switch_cload;
+  vth_offset_[s] = vth_offset;
+  strength_[s] = strength;
+  return s;
+}
+
+void DriveArena::release(Slot s) { free_.push_back(s); }
+
+bool DriveArena::refresh(Slot s, const supply::Supply& supply,
+                         const device::DelayModel& model) {
+  const std::uint64_t e = supply.voltage_epoch();
+  if (e == epoch_[s]) return delay_[s] != kDriveStalled;
+  epoch_[s] = e;
+  const double vdd = supply.voltage();
+  if (!model.operational(vdd)) {
+    delay_[s] = kDriveStalled;
+    return false;
+  }
+  delay_[s] = model.delay(vdd, delay_cload_[s], vth_offset_[s], strength_[s]);
+  charge_[s] = model.switching_charge(vdd, switch_cload_[s]);
+  energy_[s] = model.switching_energy(vdd, switch_cload_[s]);
+  return true;
+}
+
+}  // namespace emc::gates

@@ -1,0 +1,99 @@
+// Struct-of-arrays store for the per-element switching hot path.
+//
+// Every switching element (Gate, Toggle) owns one slot holding its
+// quasi-static drive state: the supply-epoch stamp, the operational
+// flag, the cached propagation delay and per-transition charge/energy,
+// plus the device point that parameterizes them (load capacitances,
+// Vth offset, drive strength). One arena lives inside each
+// gates::Context, so a circuit's hot state sits in a handful of dense
+// arrays instead of being scattered across gate objects: the
+// epoch-check every event performs touches one cache-packed lane, and
+// a supply-epoch bump (Fig. 4 style modulated supplies) re-walks
+// arrays the prefetcher likes instead of pointer-chasing the netlist.
+//
+// Slots are index-stable for the element's lifetime (elements capture
+// their slot in scheduled callbacks) and recycled through a free list
+// on release, so sweeps that build and tear down thousands of circuits
+// against one Context reuse the same arrays at steady state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace emc::device {
+class DelayModel;
+}
+namespace emc::supply {
+class Supply;
+}
+
+namespace emc::gates {
+
+/// Sentinel stored in a slot's delay lane while the supply is below the
+/// operating floor: the element is stalled, there is no valid drive
+/// state. (A real delay of kTimeMax is impossible — the delay model is
+/// guarded by the operational check.)
+inline constexpr sim::Time kDriveStalled = sim::kTimeMax;
+
+class DriveArena {
+ public:
+  using Slot = std::uint32_t;
+
+  /// Claim a slot for an element with the given load capacitances
+  /// (`delay_cload` sizes the delay, `switch_cload` the per-transition
+  /// charge/energy) and device point. The slot starts invalid: the
+  /// first refresh() computes it.
+  Slot acquire(double delay_cload, double switch_cload, double vth_offset,
+               double strength);
+
+  /// Return a slot to the free list (element destruction).
+  void release(Slot s);
+
+  /// Revalidate slot `s` against the supply; returns the operational
+  /// flag at the current voltage. Recomputes only when the supply's
+  /// voltage_epoch() has advanced past the slot's stamp — on a constant
+  /// supply the delay model runs exactly once per element.
+  bool refresh(Slot s, const supply::Supply& supply,
+               const device::DelayModel& model);
+
+  /// Force the next refresh() of `s` to recompute (the element's own
+  /// device point changed).
+  void invalidate(Slot s) { epoch_[s] = 0; }
+
+  // --- cached drive state (valid after a true refresh()) ---
+  sim::Time delay(Slot s) const { return delay_[s]; }
+  double charge(Slot s) const { return charge_[s]; }
+  double energy(Slot s) const { return energy_[s]; }
+
+  // --- device point ---
+  double vth_offset(Slot s) const { return vth_offset_[s]; }
+  double strength(Slot s) const { return strength_[s]; }
+  void set_device(Slot s, double vth_offset, double strength) {
+    vth_offset_[s] = vth_offset;
+    strength_[s] = strength;
+    invalidate(s);  // delay depends on both
+  }
+
+  /// Slots currently claimed (live elements).
+  std::size_t live() const { return epoch_.size() - free_.size(); }
+  /// Slots ever created (arena footprint; live + recyclable).
+  std::size_t capacity() const { return epoch_.size(); }
+
+ private:
+  // Hot lanes: read on every refresh() (i.e. every scheduled output).
+  std::vector<std::uint64_t> epoch_;  // 0 = invalid (epochs start at 1)
+  std::vector<sim::Time> delay_;
+  std::vector<double> charge_;
+  std::vector<double> energy_;
+  // Cold lanes: read only when the epoch advances and the drive state
+  // actually recomputes.
+  std::vector<double> delay_cload_;
+  std::vector<double> switch_cload_;
+  std::vector<double> vth_offset_;
+  std::vector<double> strength_;
+  std::vector<Slot> free_;
+};
+
+}  // namespace emc::gates

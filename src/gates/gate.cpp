@@ -4,12 +4,10 @@ namespace emc::gates {
 
 Gate::Gate(Context& ctx, std::string name, sim::Wire& out, double delay_stages,
            double cap_factor, double vth_offset, double leak_width)
-    : ctx_(&ctx),
-      name_(std::move(name)),
-      out_(&out),
-      delay_stages_(delay_stages),
-      cap_factor_(cap_factor),
-      vth_offset_(vth_offset) {
+    : ctx_(&ctx), name_(std::move(name)), out_(&out) {
+  const double c_inv = ctx.model.tech().c_inv;
+  hot_ = ctx.drives.acquire(cap_factor * c_inv * delay_stages,
+                            cap_factor * c_inv, vth_offset, /*strength=*/1.0);
   if (ctx_->meter != nullptr) {
     meter_id_ = ctx_->meter->add(name_, leak_width);
     metered_ = true;
@@ -21,6 +19,8 @@ Gate::Gate(Context& ctx, std::string name, sim::Wire& out, double delay_stages,
     if (stalled_) retry();
   });
 }
+
+Gate::~Gate() { ctx_->drives.release(hot_); }
 
 void Gate::listen(sim::Wire& w) {
   w.subscribe<&Gate::on_input_change>(this);
@@ -46,9 +46,7 @@ void Gate::on_input_change() {
 }
 
 void Gate::schedule_output(bool target) {
-  const double c_inv = ctx_->model.tech().c_inv;
-  if (!drive_.refresh(*ctx_, cap_factor_ * c_inv * delay_stages_,
-                      cap_factor_ * c_inv, vth_offset_, strength_)) {
+  if (!ctx_->refresh_drive(hot_)) {
     stall_target_ = target;
     enter_stall();
     return;
@@ -56,25 +54,23 @@ void Gate::schedule_output(bool target) {
   pending_ = true;
   pending_value_ = target;
   const std::uint64_t gen = ++generation_;
-  ctx_->kernel.schedule(drive_.delay,
+  ctx_->kernel.schedule(ctx_->drives.delay(hot_),
                         [this, target, gen] { apply_output(target, gen); });
 }
 
 void Gate::apply_output(bool target, std::uint64_t generation) {
   if (!pending_ || generation != generation_) return;  // retracted
   pending_ = false;
-  const double c_inv = ctx_->model.tech().c_inv;
-  if (!drive_.refresh(*ctx_, cap_factor_ * c_inv * delay_stages_,
-                      cap_factor_ * c_inv, vth_offset_, strength_)) {
+  if (!ctx_->refresh_drive(hot_)) {
     // Supply collapsed while the transition was in flight: the output
     // never made it; park and retry on recovery.
     stall_target_ = target;
     enter_stall();
     return;
   }
-  ctx_->supply.draw(drive_.charge, drive_.energy);
+  ctx_->supply.draw(ctx_->drives.charge(hot_), ctx_->drives.energy(hot_));
   if (metered_) {
-    ctx_->meter->record_transition(meter_id_, drive_.energy);
+    ctx_->meter->record_transition(meter_id_, ctx_->drives.energy(hot_));
   }
   ++fires_;
   out_->set(target);

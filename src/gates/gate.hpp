@@ -23,55 +23,33 @@
 #include <vector>
 
 #include "device/delay_model.hpp"
+#include "gates/drive_arena.hpp"
 #include "gates/energy_meter.hpp"
 #include "sim/signal.hpp"
 #include "supply/supply.hpp"
 
 namespace emc::gates {
 
-/// Everything a gate needs from its environment; one Context is shared by
-/// all gates of a circuit.
+/// Everything a gate needs from its environment; one Context is shared
+/// by all gates of a circuit. `drives` is the struct-of-arrays store
+/// for the elements' quasi-static drive state (delay / charge / energy
+/// at the supply state identified by Supply::voltage_epoch()): each
+/// switching element claims a slot at construction, and refresh_drive()
+/// recomputes a slot only when the epoch advances, so on a constant
+/// supply the delay model runs exactly once per element — the
+/// quasi-static approximation the Gate header documents, made explicit.
 struct Context {
   sim::Kernel& kernel;
   const device::DelayModel& model;
   supply::Supply& supply;
   EnergyMeter* meter = nullptr;  ///< optional
-};
+  DriveArena drives{};           ///< per-element hot state (SoA)
 
-/// Quasi-static drive cache shared by switching elements (Gate, Toggle):
-/// propagation delay and per-transition charge/energy at the supply
-/// state identified by Supply::voltage_epoch(). refresh() recomputes
-/// only when the epoch advances, so on a constant supply the delay
-/// model runs exactly once per element — the quasi-static approximation
-/// the Gate header documents, made explicit.
-struct DriveCache {
-  std::uint64_t epoch = 0;  ///< 0 = never computed (epochs start at 1)
-  bool operational = false;
-  sim::Time delay = 0;
-  double charge = 0.0;
-  double energy = 0.0;
-
-  /// Revalidate against the supply; returns `operational` at the
-  /// current voltage. `delay_cload` sizes the delay, `switch_cload` the
-  /// per-transition charge/energy. `vth_offset`/`strength` are the
-  /// element's per-instance device point (corner + Monte-Carlo sample).
-  bool refresh(const Context& ctx, double delay_cload, double switch_cload,
-               double vth_offset, double strength = 1.0) {
-    const std::uint64_t e = ctx.supply.voltage_epoch();
-    if (e == epoch) return operational;
-    epoch = e;
-    const double vdd = ctx.supply.voltage();
-    operational = ctx.model.operational(vdd);
-    if (!operational) return false;
-    delay = ctx.model.delay(vdd, delay_cload, vth_offset, strength);
-    charge = ctx.model.switching_charge(vdd, switch_cload);
-    energy = ctx.model.switching_energy(vdd, switch_cload);
-    return true;
+  /// Revalidate drive slot `s` against this context's supply; returns
+  /// whether the element is operational at the current voltage.
+  bool refresh_drive(DriveArena::Slot s) {
+    return drives.refresh(s, supply, model);
   }
-
-  /// Force the next refresh() to recompute (e.g. the element's own
-  /// parameters changed).
-  void invalidate() { epoch = 0; }
 };
 
 class Gate {
@@ -82,7 +60,7 @@ class Gate {
   /// per-instance threshold shift (process corner / Monte-Carlo mismatch).
   Gate(Context& ctx, std::string name, sim::Wire& out, double delay_stages,
        double cap_factor, double vth_offset = 0.0, double leak_width = 3.0);
-  virtual ~Gate() = default;
+  virtual ~Gate();
 
   Gate(const Gate&) = delete;
   Gate& operator=(const Gate&) = delete;
@@ -101,25 +79,23 @@ class Gate {
   std::uint64_t fires() const { return fires_; }
 
   /// Per-instance threshold mismatch accessor (Monte-Carlo analyses).
-  double vth_offset() const { return vth_offset_; }
+  /// The device point lives in the context's DriveArena slot; setters
+  /// invalidate the cached drive state.
+  double vth_offset() const { return ctx_->drives.vth_offset(hot_); }
   void set_vth_offset(double v) {
-    vth_offset_ = v;
-    drive_.invalidate();  // delay depends on vth
+    ctx_->drives.set_device(hot_, v, strength());
   }
 
   /// Per-instance drive-strength multiplier (1.0 = nominal device).
-  double strength() const { return strength_; }
+  double strength() const { return ctx_->drives.strength(hot_); }
   void set_strength(double s) {
-    strength_ = s;
-    drive_.invalidate();  // delay depends on drive
+    ctx_->drives.set_device(hot_, vth_offset(), s);
   }
 
   /// Apply a full Monte-Carlo device sample (Vth shift + strength) in
   /// one call — the per-gate hook replicated experiments drive.
   void set_device_sample(const device::DeviceSample& d) {
-    vth_offset_ = d.vth_offset;
-    strength_ = d.strength;
-    drive_.invalidate();
+    ctx_->drives.set_device(hot_, d.vth_offset, d.strength);
   }
 
  protected:
@@ -145,10 +121,7 @@ class Gate {
   Context* ctx_;
   std::string name_;
   sim::Wire* out_;
-  double delay_stages_;
-  double cap_factor_;
-  double vth_offset_;
-  double strength_ = 1.0;
+  DriveArena::Slot hot_;  ///< this gate's lane in ctx_->drives
   EnergyMeter::GateId meter_id_ = 0;
   bool metered_ = false;
 
@@ -158,7 +131,6 @@ class Gate {
   bool stalled_ = false;
   bool stall_target_ = false;
   std::uint64_t fires_ = 0;
-  DriveCache drive_;
 };
 
 }  // namespace emc::gates

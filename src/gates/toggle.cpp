@@ -4,11 +4,10 @@ namespace emc::gates {
 
 Toggle::Toggle(Context& ctx, std::string name, sim::Wire& in, sim::Wire& dot,
                sim::Wire& blank, double vth_offset)
-    : ctx_(&ctx),
-      name_(std::move(name)),
-      dot_(&dot),
-      blank_(&blank),
-      vth_offset_(vth_offset) {
+    : ctx_(&ctx), name_(std::move(name)), dot_(&dot), blank_(&blank) {
+  const double c_inv = ctx.model.tech().c_inv;
+  hot_ = ctx.drives.acquire(c_inv * kDelayStages, kCapFactor * c_inv,
+                            vth_offset, /*strength=*/1.0);
   if (ctx_->meter != nullptr) {
     meter_id_ = ctx_->meter->add(name_, kLeakWidth);
     metered_ = true;
@@ -19,6 +18,8 @@ Toggle::Toggle(Context& ctx, std::string name, sim::Wire& in, sim::Wire& dot,
   });
 }
 
+Toggle::~Toggle() { ctx_->drives.release(hot_); }
+
 void Toggle::on_input() {
   ++unserved_;
   if (!in_flight_ && !stalled_) try_fire();
@@ -26,27 +27,23 @@ void Toggle::on_input() {
 
 void Toggle::try_fire() {
   if (unserved_ == 0) return;
-  const double c_inv = ctx_->model.tech().c_inv;
-  if (!drive_.refresh(*ctx_, c_inv * kDelayStages, kCapFactor * c_inv,
-                      vth_offset_)) {
+  if (!ctx_->refresh_drive(hot_)) {
     enter_stall();
     return;
   }
   in_flight_ = true;
-  ctx_->kernel.schedule(drive_.delay, [this] { apply(); });
+  ctx_->kernel.schedule(ctx_->drives.delay(hot_), [this] { apply(); });
 }
 
 void Toggle::apply() {
   in_flight_ = false;
-  const double c_inv = ctx_->model.tech().c_inv;
-  if (!drive_.refresh(*ctx_, c_inv * kDelayStages, kCapFactor * c_inv,
-                      vth_offset_)) {
+  if (!ctx_->refresh_drive(hot_)) {
     enter_stall();
     return;
   }
-  ctx_->supply.draw(drive_.charge, drive_.energy);
+  ctx_->supply.draw(ctx_->drives.charge(hot_), ctx_->drives.energy(hot_));
   if (metered_) {
-    ctx_->meter->record_transition(meter_id_, drive_.energy);
+    ctx_->meter->record_transition(meter_id_, ctx_->drives.energy(hot_));
   }
   --unserved_;
   ++fires_;

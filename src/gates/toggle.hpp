@@ -29,6 +29,10 @@ class Toggle {
  public:
   Toggle(Context& ctx, std::string name, sim::Wire& in, sim::Wire& dot,
          sim::Wire& blank, double vth_offset = 0.0);
+  ~Toggle();
+
+  Toggle(const Toggle&) = delete;
+  Toggle& operator=(const Toggle&) = delete;
 
   const std::string& name() const { return name_; }
   sim::Wire& dot() { return *dot_; }
@@ -54,7 +58,7 @@ class Toggle {
   std::string name_;
   sim::Wire* dot_;
   sim::Wire* blank_;
-  double vth_offset_;
+  DriveArena::Slot hot_;  ///< this element's lane in ctx_->drives
   EnergyMeter::GateId meter_id_ = 0;
   bool metered_ = false;
 
@@ -63,7 +67,6 @@ class Toggle {
   bool phase_dot_ = true;  ///< which output moves next
   bool stalled_ = false;
   std::uint64_t fires_ = 0;
-  DriveCache drive_;
 };
 
 }  // namespace emc::gates

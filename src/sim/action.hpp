@@ -66,11 +66,23 @@ class Action {
     ops_->invoke(buf_);
   }
 
+  /// Invoke then destroy through a single dispatch — the hot-loop form
+  /// for an action that fires exactly once and is never needed again.
+  /// Leaves the Action empty (even if the callable throws), so a reused
+  /// local costs only a null check on its next move-assignment.
+  void consume() {
+    if (!ops_) throw std::bad_function_call();
+    const Ops* ops = ops_;
+    ops_ = nullptr;
+    ops->invoke_destroy(buf_);
+  }
+
  private:
   struct Ops {
     void (*invoke)(void*);
     void (*move)(void* dst, void* src);  // src is destroyed
     void (*destroy)(void*);
+    void (*invoke_destroy)(void*);  // fused fire-once path (see consume)
   };
 
   template <typename D>
@@ -96,7 +108,15 @@ class Action {
       static_cast<D*>(src)->~D();
     }
     static void destroy(void* buf) { static_cast<D*>(buf)->~D(); }
-    static constexpr Ops table{&invoke, &move, &destroy};
+    static void invoke_destroy(void* buf) {
+      D* d = static_cast<D*>(buf);
+      struct Guard {
+        D* d;
+        ~Guard() { d->~D(); }
+      } guard{d};
+      (*d)();
+    }
+    static constexpr Ops table{&invoke, &move, &destroy, &invoke_destroy};
   };
 
   // Heap fallback: buf_ holds a D*.
@@ -112,7 +132,15 @@ class Action {
       *static_cast<D**>(dst) = ptr(src);
     }
     static void destroy(void* buf) { delete ptr(buf); }
-    static constexpr Ops table{&invoke, &move, &destroy};
+    static void invoke_destroy(void* buf) {
+      D* d = ptr(buf);
+      struct Guard {
+        D* d;
+        ~Guard() { delete d; }
+      } guard{d};
+      (*d)();
+    }
+    static constexpr Ops table{&invoke, &move, &destroy, &invoke_destroy};
   };
 
   void destroy() noexcept {

@@ -10,10 +10,25 @@
 // Storage layout is built for scenario sweeps that create and drain
 // thousands of kernels: actions live in a slab of reusable slots (no
 // per-event allocation once the slab is warm — see Action for the
-// capture storage), the heap itself holds small POD entries, and
+// capture storage), the priority structure holds small POD entries, and
 // cancellation is O(1) via generation-tagged ids. A cancelled event
-// frees its slot immediately; its heap entry goes stale and is purged
-// when it surfaces, so nothing accumulates on long runs.
+// frees its slot immediately; its entry goes stale and is purged when it
+// surfaces, so nothing accumulates on long runs.
+//
+// Two interchangeable priority structures sit on top of the slab, chosen
+// at construction (QueueKind) or via EMC_EVENT_QUEUE=heap|ladder:
+//   * kBinaryHeap — an implicit binary heap with hole-based sifting
+//     (Floyd's bottom-up delete). Dependable O(log n) everything; the
+//     default.
+//   * kLadder — a calendar/ladder queue: inserts append into an
+//     unsorted overflow list (O(1)), which is spread into time buckets
+//     and sorted one rung at a time as the clock reaches it. Wins on
+//     schedule-heavy workloads whose timestamps are near-monotone over
+//     a short horizon (oscillators, handshake rings), the worst case
+//     for sift-based heaps.
+// Both produce the exact same pop order — (time, then schedule order) —
+// and honour the same cancel/clear contract; tests/ladder_queue_test.cpp
+// holds them to byte-identical behaviour on randomized schedules.
 #pragma once
 
 #include <cstdint>
@@ -31,15 +46,34 @@ namespace emc::sim {
 /// can never touch the event that reused its slot. 0 is never a valid id.
 using EventId = std::uint64_t;
 
+/// Priority-structure selection for EventQueue / Kernel.
+enum class QueueKind {
+  kAuto,        ///< EMC_EVENT_QUEUE env var ("heap" / "ladder"), else heap
+  kBinaryHeap,  ///< implicit binary heap (general-purpose default)
+  kLadder,      ///< calendar/ladder queue (near-monotone schedules)
+};
+
+/// Resolve kAuto against the EMC_EVENT_QUEUE environment variable
+/// ("heap" or "ladder"; anything else falls back to the heap). Explicit
+/// kinds pass through unchanged.
+QueueKind resolve_queue_kind(QueueKind requested);
+
 class EventQueue {
  public:
+  explicit EventQueue(QueueKind kind = QueueKind::kAuto);
+
   /// Schedule `action` at absolute time `t`. Returns a handle that can be
-  /// passed to cancel().
-  EventId schedule(Time t, Action action);
+  /// passed to cancel(). Takes the action by rvalue so the callable is
+  /// moved exactly once — from the caller's temporary straight into its
+  /// slab slot (each Action move is an indirect call; the hot path pays
+  /// for only one). Lambdas convert implicitly; named Actions need
+  /// std::move.
+  EventId schedule(Time t, Action&& action);
 
   /// Cancel a pending event in O(1): the slot is released immediately and
-  /// the heap entry left to be purged when popped. Cancelling an
-  /// already-fired, cleared or unknown id is a harmless no-op.
+  /// the stale entry left to be purged when it surfaces (or by compaction
+  /// if stale entries come to dominate). Cancelling an already-fired,
+  /// cleared or unknown id is a harmless no-op.
   void cancel(EventId id);
 
   /// True if no live (non-cancelled) event remains.
@@ -54,6 +88,12 @@ class EventQueue {
   /// Remove and return the earliest live event.
   /// Precondition: !empty().
   std::pair<Time, Action> pop();
+
+  /// Fused dispatch step: if a live event exists with time <= `deadline`,
+  /// remove it, deliver its time and action, and return true. One call
+  /// replaces the empty()/next_time()/pop() triple on the kernel's hot
+  /// loop.
+  bool pop_due(Time deadline, Time& t, Action& action);
 
   /// Drop everything (used when resetting a kernel between experiments).
   /// Outstanding EventIds are invalidated: cancelling them later is a
@@ -73,6 +113,9 @@ class EventQueue {
 
   // --- introspection (stats reporting and tests) ---
 
+  /// The resolved priority structure (never kAuto).
+  QueueKind kind() const { return kind_; }
+
   /// High-water mark of live events.
   std::size_t peak_live() const { return peak_live_; }
 
@@ -81,8 +124,11 @@ class EventQueue {
   /// unbounded cancelled-id list.
   std::size_t slab_capacity() const { return slots_.size(); }
 
-  /// Heap entries including stale (cancelled) ones awaiting purge.
-  std::size_t heap_entries() const { return heap_.size(); }
+  /// Pending priority-structure entries including stale (cancelled) ones
+  /// awaiting purge, for either structure.
+  std::size_t heap_entries() const {
+    return kind_ == QueueKind::kLadder ? entries_ : heap_.size();
+  }
 
  private:
   struct Slot {
@@ -91,7 +137,7 @@ class EventQueue {
     bool armed = false;      // true while a live event occupies the slot
   };
 
-  // POD heap entry: cheap to swap during sift. `gen` snapshots the slot
+  // POD entry: cheap to move during sift/sort. `gen` snapshots the slot
   // generation at schedule time; a mismatch on pop means the event was
   // cancelled (or the queue cleared) and the entry is discarded.
   struct Entry {
@@ -101,28 +147,64 @@ class EventQueue {
     std::uint32_t gen;
   };
 
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
-  };
+  /// a fires strictly after b (lower priority). Lexicographic (t, seq)
+  /// composed into one 128-bit key: a single branchless compare instead
+  /// of a data-dependent branch on the tie-break — timestamps collide
+  /// constantly in gate simulations, making that branch a reliable
+  /// mispredict inside the heap descent.
+  static bool later(const Entry& a, const Entry& b) {
+    const auto key = [](const Entry& e) {
+      return (static_cast<unsigned __int128>(e.t) << 64) | e.seq;
+    };
+    return key(a) > key(b);
+  }
 
-  void sift_up(std::size_t i);
-  void sift_down(std::size_t i);
-  void compact();
   bool stale(const Entry& e) const {
     return slots_[e.slot].gen != e.gen || !slots_[e.slot].armed;
   }
-  void remove_root();
+
   void release_slot(std::uint32_t s);
+
+  // --- binary heap (hole-based sift, Floyd's remove_root) ---
+  void heap_push(const Entry& e);
+  void heap_remove_root();
+  void heap_compact();
   // Drops stale entries off the top so heap_.front() is live. Logically
   // const: stale entries are already observably absent.
   void prune_stale_root() const;
 
+  // --- ladder / calendar queue ---
+  // Consumption order: sorted rung first (rung_[rung_pos_..]), then the
+  // buckets in index order (each sorted when it becomes the rung), then
+  // the overflow list is spread into fresh buckets. Invariant: every
+  // pending entry with t < rung_end_ lives in the rung; bucket i covers
+  // [bucket_base_ + i*width, +width); anything at/after the bucket range
+  // (or with no buckets built) waits unsorted in overflow_.
+  void ladder_insert(const Entry& e);
+  bool ladder_front() const;    // logically const lazy refill, like prune
+  bool ladder_refill() const;   // advance to the next non-empty rung
+  void spread_overflow() const; // overflow -> buckets (or straight to rung)
+  void ladder_compact();
+  void ladder_reset_ranges();
+
+  QueueKind kind_;
   mutable std::vector<Entry> heap_;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_;  // reusable slot indices
+
+  // Ladder storage (unused in heap mode). rung_pos_/entries_ mutate from
+  // const peeks (stale skipping / lazy refill), hence mutable.
+  mutable std::vector<Entry> rung_;
+  mutable std::size_t rung_pos_ = 0;
+  mutable Time rung_end_ = 0;  // exclusive; inserts below it join the rung
+  mutable std::vector<std::vector<Entry>> buckets_;  // persistent pool
+  mutable std::size_t bucket_count_ = 0;  // active prefix of buckets_
+  mutable std::size_t bucket_idx_ = 0;    // next bucket to consume
+  mutable Time bucket_base_ = 0;
+  mutable Time bucket_width_ = 1;
+  mutable std::vector<Entry> overflow_;
+  mutable std::size_t entries_ = 0;  // ladder entries incl. stale
+
   std::uint64_t next_seq_ = 0;
   std::uint64_t scheduled_ = 0;
   std::size_t live_ = 0;

@@ -7,7 +7,7 @@ bool Kernel::step() {
   auto [t, action] = queue_.pop();
   now_ = t;
   ++executed_;
-  action();
+  action.consume();
   return true;
 }
 
@@ -15,13 +15,23 @@ std::uint64_t Kernel::run_until(Time deadline) {
   const auto wall_start = std::chrono::steady_clock::now();
   std::uint64_t n = 0;
   cap_hit_ = false;
-  while (!queue_.empty() && queue_.next_time() <= deadline) {
+  // Fused dispatch: one pop_due() call replaces the
+  // empty()/next_time()/pop() triple per event, and consume() fires and
+  // destroys the callback through a single dispatch, leaving the reused
+  // local empty — the loop touches no allocator and pays two indirect
+  // calls per event (move in, invoke+destroy out).
+  Time t = 0;
+  Action action;
+  for (;;) {
     if (executed_ >= event_cap_) {
-      cap_hit_ = true;
+      if (!queue_.empty() && queue_.next_time() <= deadline) cap_hit_ = true;
       break;
     }
-    step();
+    if (!queue_.pop_due(deadline, t, action)) break;
+    now_ = t;
+    ++executed_;
     ++n;
+    action.consume();
   }
   // Advance the clock to the deadline even if no event lands exactly
   // there, so back-to-back run_until calls observe monotonic time.

@@ -1,0 +1,237 @@
+// Ladder/calendar queue tests: the ladder must be observably identical
+// to the binary heap — same (time, then schedule order) pop sequence,
+// same cancel/clear contract — because the Kernel treats the two as
+// interchangeable (EMC_EVENT_QUEUE selects one at runtime and every
+// determinism guarantee in the repo rides on the pop order).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/kernel.hpp"
+#include "sim/time.hpp"
+
+namespace emc::sim {
+namespace {
+
+// Deterministic xorshift64 — same generator the micro-bench uses, so
+// randomized runs are reproducible bit-for-bit.
+struct Rng {
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  std::uint64_t operator()() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  }
+};
+
+TEST(LadderQueue, FifoWithinEqualTimestamp) {
+  EventQueue q(QueueKind::kLadder);
+  std::vector<int> order;
+  // Interleave three timestamps; every pop must respect schedule order
+  // among equal times.
+  for (int i = 0; i < 30; ++i) {
+    const Time t = 10 + 10 * (i % 3);
+    q.schedule(t, [i, &order] { order.push_back(i); });
+  }
+  std::vector<int> expect;
+  for (Time t = 10; t <= 30; t += 10)
+    for (int i = 0; i < 30; ++i)
+      if (static_cast<Time>(10 + 10 * (i % 3)) == t) expect.push_back(i);
+  while (!q.empty()) {
+    auto [t, action] = q.pop();
+    action();
+  }
+  EXPECT_EQ(order, expect);
+}
+
+TEST(LadderQueue, FifoHoldsForSortedRungInserts) {
+  // An insert below rung_end_ goes through the sorted-insert path; equal
+  // timestamps there must still land *after* existing rung entries.
+  EventQueue q(QueueKind::kLadder);
+  std::vector<int> order;
+  q.schedule(10, [&order] { order.push_back(0); });
+  q.schedule(20, [&order] { order.push_back(1); });
+  {
+    auto [t, action] = q.pop();  // fires 0; the rung now covers t=20
+    EXPECT_EQ(t, 10u);
+    action();
+  }
+  q.schedule(20, [&order] { order.push_back(2); });  // ties with entry 1
+  q.schedule(15, [&order] { order.push_back(3); });  // sorts before both
+  while (!q.empty()) {
+    auto [t, action] = q.pop();
+    action();
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 3, 1, 2}));
+}
+
+TEST(LadderQueue, CancelAndGenerationReuseKeepStaleIdsDead) {
+  EventQueue q(QueueKind::kLadder);
+  int fired = 0;
+  const EventId a = q.schedule(10, [&fired] { fired += 1; });
+  q.cancel(a);
+  EXPECT_TRUE(q.empty());
+  // The freed slot is reused; the stale id must not reach the new event.
+  const EventId b = q.schedule(5, [&fired] { fired += 100; });
+  q.cancel(a);  // stale: harmless no-op
+  EXPECT_EQ(q.size(), 1u);
+  auto [t, action] = q.pop();
+  action();
+  EXPECT_EQ(t, 5u);
+  EXPECT_EQ(fired, 100);
+  EXPECT_TRUE(q.empty());
+  q.cancel(b);  // already fired: harmless no-op
+}
+
+TEST(LadderQueue, DrainThenRescheduleReusesTheStructure) {
+  EventQueue q(QueueKind::kLadder);
+  Rng rnd;
+  // Big spread forces bucket construction; drain it fully.
+  for (int i = 0; i < 500; ++i) q.schedule(1 + rnd() % 1'000'000, [] {});
+  Time prev = 0;
+  while (!q.empty()) {
+    auto [t, action] = q.pop();
+    EXPECT_GE(t, prev);
+    prev = t;
+    action();
+  }
+  // After a full drain the time ranges reset: earlier timestamps are
+  // legal again and pop in order.
+  std::vector<int> order;
+  q.schedule(3, [&order] { order.push_back(3); });
+  q.schedule(1, [&order] { order.push_back(1); });
+  q.schedule(2, [&order] { order.push_back(2); });
+  while (!q.empty()) {
+    auto [t, action] = q.pop();
+    action();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(LadderQueue, ClearInvalidatesOutstandingIds) {
+  EventQueue q(QueueKind::kLadder);
+  int fired = 0;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 64; ++i)
+    ids.push_back(q.schedule(1 + i, [&fired] { ++fired; }));
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  // Stale ids from before the clear stay dead even after slot reuse.
+  q.schedule(7, [&fired] { fired += 1000; });
+  for (const EventId id : ids) q.cancel(id);
+  EXPECT_EQ(q.size(), 1u);
+  auto [t, action] = q.pop();
+  action();
+  EXPECT_EQ(t, 7u);
+  EXPECT_EQ(fired, 1000);
+}
+
+// The load-bearing test: a randomized schedule/pop/cancel workload run
+// against both structures in lock-step must produce the identical event
+// sequence. Timestamps are drawn from a narrow range so ties are common
+// (exercising FIFO) and cancels hit pending entries in every region of
+// the ladder (rung, buckets, overflow).
+TEST(LadderQueue, RandomizedPopOrderMatchesHeap) {
+  Rng rnd;
+  EventQueue heap(QueueKind::kBinaryHeap);
+  EventQueue ladder(QueueKind::kLadder);
+  std::vector<int> heap_order, ladder_order;
+  std::vector<std::pair<EventId, EventId>> ids;  // {heap, ladder} twins
+  Time now_heap = 0;
+  int next_tag = 0;
+  for (int round = 0; round < 20'000; ++round) {
+    const std::uint64_t op = rnd() % 8;
+    if (op < 4) {  // schedule a twin event
+      const Time t = now_heap + rnd() % 64;  // narrow span → many ties
+      const int tag = next_tag++;
+      const EventId h =
+          heap.schedule(t, [tag, &heap_order] { heap_order.push_back(tag); });
+      const EventId l = ladder.schedule(
+          t, [tag, &ladder_order] { ladder_order.push_back(tag); });
+      ids.emplace_back(h, l);
+    } else if (op < 6) {  // cancel a random (possibly stale) twin
+      if (ids.empty()) continue;
+      const auto [h, l] = ids[rnd() % ids.size()];
+      heap.cancel(h);
+      ladder.cancel(l);
+    } else {  // pop one event from each
+      ASSERT_EQ(heap.empty(), ladder.empty());
+      if (heap.empty()) continue;
+      auto [th, ah] = heap.pop();
+      auto [tl, al] = ladder.pop();
+      ASSERT_EQ(th, tl);
+      now_heap = th;
+      ah();
+      al();
+    }
+    ASSERT_EQ(heap.size(), ladder.size());
+  }
+  while (!heap.empty()) {
+    ASSERT_FALSE(ladder.empty());
+    auto [th, ah] = heap.pop();
+    auto [tl, al] = ladder.pop();
+    ASSERT_EQ(th, tl);
+    ah();
+    al();
+  }
+  EXPECT_TRUE(ladder.empty());
+  EXPECT_EQ(heap_order, ladder_order);
+}
+
+TEST(LadderQueue, EnvVarSelectsStructureForAutoKernels) {
+  ASSERT_EQ(setenv("EMC_EVENT_QUEUE", "ladder", 1), 0);
+  {
+    Kernel k;  // kAuto
+    EXPECT_EQ(k.queue_kind(), QueueKind::kLadder);
+    // Explicit kinds ignore the environment.
+    Kernel forced(QueueKind::kBinaryHeap);
+    EXPECT_EQ(forced.queue_kind(), QueueKind::kBinaryHeap);
+  }
+  ASSERT_EQ(setenv("EMC_EVENT_QUEUE", "heap", 1), 0);
+  {
+    Kernel k;
+    EXPECT_EQ(k.queue_kind(), QueueKind::kBinaryHeap);
+  }
+  ASSERT_EQ(setenv("EMC_EVENT_QUEUE", "nonsense", 1), 0);
+  {
+    Kernel k;  // unknown value falls back to the heap
+    EXPECT_EQ(k.queue_kind(), QueueKind::kBinaryHeap);
+  }
+  ASSERT_EQ(unsetenv("EMC_EVENT_QUEUE"), 0);
+  {
+    Kernel k;
+    EXPECT_EQ(k.queue_kind(), QueueKind::kBinaryHeap);
+  }
+}
+
+TEST(LadderQueue, KernelRunsIdenticallyOnEitherQueue) {
+  // End-to-end: the same event program through a Kernel on each
+  // structure produces the same fire sequence and final clock.
+  auto run = [](QueueKind kind) {
+    Kernel k(kind);
+    std::vector<int> order;
+    Rng rnd;
+    for (int i = 0; i < 200; ++i) {
+      k.schedule_at(1 + rnd() % 500, [i, &order, &k] {
+        order.push_back(i);
+        if (order.size() % 3 == 0)
+          k.schedule(2, [i, &order] { order.push_back(-i); });
+      });
+    }
+    k.run_until(kTimeMax);
+    return std::make_pair(order, k.now());
+  };
+  const auto heap = run(QueueKind::kBinaryHeap);
+  const auto ladder = run(QueueKind::kLadder);
+  EXPECT_EQ(heap.first, ladder.first);
+  EXPECT_EQ(heap.second, ladder.second);
+}
+
+}  // namespace
+}  // namespace emc::sim
