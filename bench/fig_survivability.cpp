@@ -1,0 +1,223 @@
+// Survivability — QoS and protocol completion under deterministic
+// fault streams (brownout/dropout windows, harvester blackouts,
+// handshake stalls).
+//
+// The paper's claim is that energy-modulated circuits degrade
+// *gracefully*: starve the supply and a speed-independent design slows
+// or pauses, it does not corrupt. This figure makes that quantitative.
+// Every (supply, dropout rate, dropout duration) grid point is
+// replicated over N trials (exp::Workbench::replicate); each trial
+// builds ONE fault::FaultPlan from its trial seed and elaborates the
+// same plan onto two independent circuits:
+//   * a QoS circuit — the Fig. 9 toggle-ripple oscillator free-running
+//     at near-threshold Vdd; QoS = stage-0 transitions served per
+//     second of horizon,
+//   * a protocol circuit — a 4-phase HandshakeSource/Sink pair asked
+//     for a fixed batch of cycles; completion % plus the kernel
+//     watchdog's structured RunVerdict (run_guarded classifies a
+//     drained queue as completed / quiesced / deadlocked instead of
+//     hanging).
+// The dropout process also gates the harvester (blackout) and stalls
+// the handshake sink at a quarter of the rate — one environment, three
+// correlated fault processes, all drawn from counter-based streams.
+//
+// Determinism contract: byte-identical CSVs at any EMC_SWEEP_THREADS
+// and under both EMC_EVENT_QUEUE=heap and =ladder — the FaultPlan
+// schedule is pure in (trial_seed, stream) and the kernel dispatches
+// identically on both queue structures.
+#include <cstdio>
+#include <string>
+
+#include "analysis/aggregate.hpp"
+#include "analysis/sweep.hpp"
+#include "async/counter.hpp"
+#include "async/handshake.hpp"
+#include "exp/workbench.hpp"
+#include "fault/fault_plan.hpp"
+#include "repro/registry.hpp"
+
+namespace {
+
+using namespace emc;
+
+constexpr std::size_t kTrials = 12;
+constexpr std::size_t kSmokeTrials = 3;
+/// Fault processes are generated over this window; the QoS run stops
+/// here, the protocol run gets twice this to finish recovered cycles.
+constexpr sim::Time kHorizon = sim::us(100);
+constexpr std::size_t kOscStages = 4;
+constexpr std::uint64_t kHandshakes = 40;
+/// Near-threshold operating point for the battery scenarios (vmin is
+/// 0.14 V): low enough that a brownout residual is fatal, high enough
+/// that the oscillator runs at a useful rate.
+constexpr double kBatteryVdd = 0.35;
+
+exp::SupplyConfig supply_for(const std::string& kind) {
+  if (kind == "ac") {
+    // The Fig. 4 source: 200 mV +/- 100 mV at 1 MHz — troughs already
+    // dip below vmin, so dropouts ride on top of periodic starvation.
+    return exp::SupplyConfig::ac(0.2, 0.1, 1e6).faultable();
+  }
+  if (kind == "harvested") {
+    // Bursty vibration harvester into a 2 uF store pre-charged to the
+    // battery operating point; wake threshold above vmin so recovery
+    // resumes cleanly.
+    return exp::SupplyConfig::harvested(
+               exp::SupplyConfig::storage_cap(2e-6, kBatteryVdd)
+                   .wake_threshold(0.16),
+               supply::HarvesterProfile::vibration_200uw(), /*seed=*/11,
+               sim::us(10))
+        .faultable();
+  }
+  return exp::SupplyConfig::battery(kBatteryVdd).faultable();
+}
+
+/// The shared fault environment of one trial. All three specs are
+/// always inserted (stream ordinals must not depend on the rates);
+/// zero-rate specs elaborate to nothing.
+fault::FaultPlan plan_for(std::uint64_t trial_seed, double dropout_hz,
+                          double drop_s) {
+  fault::FaultPlan plan(trial_seed, kHorizon);
+  plan.dropouts(dropout_hz, drop_s)
+      .harvester_blackouts(dropout_hz, drop_s)
+      .handshake_stalls(dropout_hz / 4.0, 5.0 * drop_s);
+  return plan;
+}
+
+struct TrialOutcome {
+  double qos_kops_s = 0.0;
+  const char* qos_verdict = "";
+  double hs_done_pct = 0.0;
+  const char* hs_verdict = "";
+  bool survived = false;
+  sim::Kernel::Stats stats;
+};
+
+TrialOutcome run_trial(const std::string& kind, double dropout_hz,
+                       double drop_s, const exp::ParamSet& p) {
+  TrialOutcome out;
+  const fault::FaultPlan plan =
+      plan_for(p.get<std::uint64_t>("trial_seed"), dropout_hz, drop_s);
+
+  // --- QoS circuit: free-running oscillator under the environment ----
+  {
+    auto ex = exp::ContextConfig::with(supply_for(kind))
+                  .trial(p)
+                  .build();
+    async::ToggleRippleCounter ctr(ex.ctx(), "osc", kOscStages);
+    ctr.start();
+    fault::FaultPlan::Targets t;
+    t.supply = ex.fault_supply();
+    t.harvester = ex.harvester();
+    plan.elaborate(ex.kernel(), t);
+    ex.kernel().add_probe([&] {
+      return ex.ctx().drives.any_stalled() ? sim::ProbeState::kStalled
+                                           : sim::ProbeState::kIdle;
+    });
+    sim::Budget b;
+    b.horizon = kHorizon;
+    const sim::RunVerdict v = ex.kernel().run_guarded(b);
+    out.qos_kops_s = static_cast<double>(ctr.transitions_served()) /
+                     sim::to_seconds(kHorizon) * 1e-3;
+    out.qos_verdict = sim::to_string(v.status);
+    out.stats += ex.kernel().stats();
+    out.survived = ctr.transitions_served() > 0;
+  }
+
+  // --- protocol circuit: fixed handshake batch + watchdog verdict ----
+  {
+    auto ex = exp::ContextConfig::with(supply_for(kind))
+                  .trial(p)
+                  .build();
+    sim::Wire req(ex.kernel(), "req", false), ack(ex.kernel(), "ack", false);
+    async::Channel ch{&req, &ack};
+    async::HandshakeSource src(ex.ctx(), "src", ch);
+    async::HandshakeSink sink(ex.ctx(), "sink", ch, 2.0);
+    src.start(kHandshakes);
+    fault::FaultPlan::Targets t;
+    t.supply = ex.fault_supply();
+    t.harvester = ex.harvester();
+    t.sinks.push_back(&sink);
+    plan.elaborate(ex.kernel(), t);
+    ex.kernel().add_probe([&] {
+      if (!src.mid_protocol()) return sim::ProbeState::kIdle;
+      return ex.ctx().drives.any_stalled() || sink.stalled()
+                 ? sim::ProbeState::kStalled
+                 : sim::ProbeState::kBusy;
+    });
+    sim::Budget b;
+    b.horizon = 2 * kHorizon;
+    const sim::RunVerdict v = ex.kernel().run_guarded(b);
+    out.hs_done_pct = 100.0 * static_cast<double>(src.completed()) /
+                      static_cast<double>(kHandshakes);
+    out.hs_verdict = sim::to_string(v.status);
+    out.stats += ex.kernel().stats();
+    out.survived = out.survived && src.completed() == kHandshakes &&
+                   v.status != sim::RunStatus::kDeadlocked &&
+                   v.status != sim::RunStatus::kBudgetExhausted;
+  }
+  return out;
+}
+
+}  // namespace
+
+static int run_fig_survivability(const emc::repro::RunContext& ctx) {
+  analysis::print_banner(
+      "Survivability — QoS + protocol completion under fault streams");
+
+  exp::Workbench wb("fig_survivability_trials");
+  wb.threads(ctx.threads);
+  wb.grid()
+      .over("supply", std::vector<std::string>{"battery", "ac", "harvested"})
+      .over("dropout_hz", {0.0, 2e4, 1e5})
+      .over("drop_us", {2.0, 10.0});
+  wb.replicate(ctx.smoke() ? kSmokeTrials : kTrials, ctx.seed);
+  wb.columns({"supply", "dropout_hz", "drop_us", "trial", "qos_kops_s",
+              "qos_verdict", "hs_done_pct", "hs_verdict", "survived"});
+
+  const auto& report = wb.run([&](const exp::ParamSet& p, exp::Recorder& rec) {
+    const std::string kind = p.get<std::string>("supply");
+    const double dropout_hz = p.get<double>("dropout_hz");
+    const double drop_us = p.get<double>("drop_us");
+    const TrialOutcome o = run_trial(kind, dropout_hz, drop_us * 1e-6, p);
+    rec.row()
+        .set("supply", kind)
+        .set("dropout_hz", dropout_hz, 0)
+        .set("drop_us", drop_us, 0)
+        .set("trial", p.get<int>("trial"))
+        .set("qos_kops_s", o.qos_kops_s, 4)
+        .set("qos_verdict", o.qos_verdict)
+        .set("hs_done_pct", o.hs_done_pct, 2)
+        .set("hs_verdict", o.hs_verdict)
+        .set("survived", o.survived ? 1 : 0);
+    rec.add_stats(o.stats);
+  });
+
+  const analysis::Table agg =
+      analysis::Aggregate({"supply", "dropout_hz", "drop_us"})
+          .stats("qos_kops_s")
+          .stats("hs_done_pct")
+          .yield("survived")
+          .reduce(wb.table());
+  agg.print();
+
+  wb.write_csv();
+  agg.write_csv("fig_survivability.csv");
+
+  std::printf(
+      "\nReading: dropouts cost *rate*, not correctness — QoS scales with\n"
+      "delivered energy while the handshake batch finishes whenever the\n"
+      "environment relents (verdicts stay completed/quiesced, never\n"
+      "deadlocked: stalls here always recover). Aggregates written to\n"
+      "fig_survivability.csv (raw trials: fig_survivability_trials.csv).\n");
+  ctx.add_stats(report.kernel_stats);
+  return 0;
+}
+
+REPRO_FIGURE(fig_survivability)
+    .title("Survivability — QoS + completion under brownout/fault streams")
+    .ref_csv("fig_survivability.csv")
+    .ref_csv("fig_survivability_trials.csv")
+    .seed(4242)
+    .smoke_mode()
+    .run(run_fig_survivability);

@@ -46,14 +46,27 @@ HandshakeSink::HandshakeSink(gates::Context& ctx, std::string name,
     : ctx_(&ctx), ch_(ch), delay_stages_(delay_stages) {
   (void)name;
   ch_.req->subscribe<&HandshakeSink::on_req>(this);
+  // Brownout recovery for wake-driven supplies: replay the req level the
+  // brownout parked (registered once, for the sink's lifetime — a no-op
+  // unless an edge is actually outstanding).
+  ctx_->supply.on_wake([this] {
+    if (!stalled_ && edge_pending()) on_req();
+  });
+}
+
+void HandshakeSink::resume() {
+  if (!stalled_) return;
+  stalled_ = false;
+  if (edge_pending()) on_req();
 }
 
 void HandshakeSink::on_req() {
+  if (stalled_) return;  // fault: the edge stays pending until resume()
   const bool target = ch_.req->read();
   const double vdd = ctx_->supply.voltage();
   if (!ctx_->model.operational(vdd)) {
-    // The sink's logic is stalled; the supply's recovery will not replay
-    // this edge, so poll like a gate would.
+    // The sink's logic is browned out: poll time-driven supplies at
+    // their hint; wake-driven supplies replay via the ctor registration.
     const sim::Time hint = ctx_->supply.retry_hint();
     if (hint != sim::kTimeMax) {
       ctx_->kernel.schedule(hint, [this] { on_req(); });

@@ -37,6 +37,13 @@ class HandshakeSource {
   /// Latency of the most recent full cycle [s].
   double last_cycle_seconds() const { return last_cycle_s_; }
 
+  /// True while a started batch has cycles outstanding — the handshake
+  /// is mid-protocol, and an empty event queue means deadlock, not
+  /// completion. This is exactly what a Kernel quiescence probe reports:
+  ///   kernel.add_probe([&] { return src.mid_protocol()
+  ///       ? sim::ProbeState::kBusy : sim::ProbeState::kIdle; });
+  bool mid_protocol() const { return remaining_ > 0; }
+
  private:
   void on_ack();
   void raise_req();
@@ -52,7 +59,10 @@ class HandshakeSource {
 };
 
 /// Passive side: mirrors req onto ack through a configurable number of
-/// gate delays (a stand-in for the downstream logic's latency).
+/// gate delays (a stand-in for the downstream logic's latency). Browned
+/// out req edges are not lost: the sink re-arms on the supply's wake
+/// callback (storage caps) or polls at retry_hint() (AC), replaying the
+/// live req level on recovery.
 class HandshakeSink {
  public:
   HandshakeSink(gates::Context& ctx, std::string name, Channel ch,
@@ -60,12 +70,24 @@ class HandshakeSink {
 
   std::uint64_t acks() const { return acks_; }
 
+  /// Fault hook (emc::fault): stop responding to req edges. A stalled
+  /// sink wedges its source mid-protocol — with no recovery scheduled
+  /// this is the canonical deliberate deadlock the kernel watchdog must
+  /// classify instead of hanging on.
+  void stall() { stalled_ = true; }
+  /// Clear the stall and replay the pending req level, if any.
+  void resume();
+  bool stalled() const { return stalled_; }
+
  private:
   void on_req();
+  /// True when the ack has yet to mirror the current req level.
+  bool edge_pending() const { return ch_.req->read() != ch_.ack->read(); }
 
   gates::Context* ctx_;
   Channel ch_;
   double delay_stages_;
+  bool stalled_ = false;
   std::uint64_t acks_ = 0;
 };
 

@@ -125,6 +125,9 @@ class Experiment {
   supply::DcdcConverter* dcdc() { return built_.dcdc(); }
   supply::Harvester* harvester() { return built_.harvester(); }
   supply::MpptController* mppt() { return built_.mppt(); }
+  /// The fault-injection wrapper (null unless the supply config was
+  /// marked faultable() or EMC_FAULT_SMOKE=1 forced one).
+  fault::FaultableSupply* fault_supply() { return built_.fault(); }
   BuiltSupply& built_supply() { return built_; }
 
   /// Per-instance Monte-Carlo sampler for this trial (no variation →

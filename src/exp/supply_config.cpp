@@ -1,10 +1,22 @@
 #include "exp/supply_config.hpp"
 
+#include <cstdlib>
+#include <cstring>
+
 #include "sim/random.hpp"
 
 namespace emc::exp {
 
 namespace {
+
+/// EMC_FAULT_SMOKE=1 forces a (windowless, hence transparent)
+/// FaultableSupply under every elaborated config — the tier-1 suite run
+/// under it smokes the wrapper's forwarding across every supply variant.
+/// Read per build (not cached): elaboration is cold, and tests toggle it.
+bool fault_smoke_forced() {
+  const char* v = std::getenv("EMC_FAULT_SMOKE");
+  return v != nullptr && std::strcmp(v, "1") == 0;
+}
 
 void require_cap(const SupplyConfig& c, const char* variant) {
   if (c.kind() != SupplyConfig::Kind::kStorageCap &&
@@ -203,6 +215,10 @@ BuiltSupply SupplyConfig::build(sim::Kernel& kernel,
       if (auto_start_) b.start();
       break;
     }
+  }
+  if (faultable_ || fault_smoke_forced()) {
+    b.fault_ = std::make_unique<fault::FaultableSupply>(*b.load_rail_);
+    b.load_rail_ = b.fault_.get();
   }
   return b;
 }

@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "fault/faultable_supply.hpp"
 #include "sim/kernel.hpp"
 #include "supply/ac_supply.hpp"
 #include "supply/battery.hpp"
@@ -110,6 +111,19 @@ class SupplyConfig {
   /// Harvested variant: override the MPPT controller parameters.
   SupplyConfig& mppt_params(supply::MpptParams p);
 
+  /// Interpose a fault::FaultableSupply between the load and the rail —
+  /// the injection point FaultPlans bind to (BuiltSupply::fault() /
+  /// Experiment::fault_supply()). With no fault windows elaborated the
+  /// wrapper is transparent: voltages, draws, epochs and wakes forward
+  /// unchanged, so results are byte-identical to the bare rail. The
+  /// EMC_FAULT_SMOKE=1 environment variable forces this on every build —
+  /// CI runs tier-1 under it to smoke exactly that transparency.
+  SupplyConfig& faultable(bool on = true) {
+    faultable_ = on;
+    return *this;
+  }
+  bool faultable_enabled() const { return faultable_; }
+
   // --- queries ---------------------------------------------------------
   Kind kind() const { return kind_; }
   const std::string& supply_name() const { return name_; }
@@ -162,6 +176,8 @@ class SupplyConfig {
   supply::MpptParams mppt_params_;
   // kDcdc / kHarvested
   bool auto_start_ = true;
+  // any variant
+  bool faultable_ = false;
 };
 
 /// The live objects a SupplyConfig elaborates into. Movable; addresses
@@ -181,6 +197,10 @@ class BuiltSupply {
   supply::DcdcConverter* dcdc() { return dcdc_; }
   supply::Harvester* harvester() { return harvester_.get(); }
   supply::MpptController* mppt() { return mppt_.get(); }
+  /// The fault-injection wrapper (null unless the config was marked
+  /// faultable() or EMC_FAULT_SMOKE=1 forced one). When present it IS
+  /// the load rail supply() returns.
+  fault::FaultableSupply* fault() { return fault_.get(); }
 
   /// Start the harvester/MPPT (and DC-DC) stages if they were built with
   /// auto_start = false.
@@ -195,6 +215,7 @@ class BuiltSupply {
   std::unique_ptr<sim::Rng> rng_;               // owned for the harvester
   std::unique_ptr<supply::Harvester> harvester_;
   std::unique_ptr<supply::MpptController> mppt_;
+  std::unique_ptr<fault::FaultableSupply> fault_;
   supply::Supply* load_rail_ = nullptr;
   supply::StorageCap* store_ = nullptr;
   supply::SampleCap* sample_ = nullptr;

@@ -1,0 +1,164 @@
+// Deterministic fault injection: FaultPlan.
+//
+// A FaultPlan is a copyable *description* of an environment's fault
+// processes — supply brownout/dropout windows, harvester blackouts,
+// gate transient upsets and stuck-at intervals, handshake stalls,
+// sensor miscalibration drift — that elaborate() turns into plain
+// scheduled events on a Kernel. Nothing about the injection lives in
+// the kernel loop: a faulted simulation is an ordinary simulation whose
+// event set happens to include fault begin/end callbacks.
+//
+// Determinism contract: every stochastic draw is keyed through the
+// counter-based Rng — windows from Rng::keyed(seed, 2 * stream),
+// per-event payloads (target index, drift magnitudes) from
+// Rng::keyed(seed, 2 * stream + 1), where `stream` is the spec's
+// insertion ordinal. A spec's schedule is therefore pure in
+// (seed, stream): independent of elaboration order, of the sweep thread
+// count, and of the event-queue structure (heap and ladder dispatch
+// identically). Building the same plan twice, or elaborating one plan
+// onto two kernels (the "same environment, two circuits" idiom), yields
+// byte-identical fault schedules.
+//
+// Windows within one spec are sequential (non-overlapping); overlap
+// across specs is legal and resolved by the target (FaultableSupply
+// takes the min scale, Harvester counts blackout depth).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "sim/time.hpp"
+
+namespace emc::gates {
+class Gate;
+}
+namespace emc::async {
+class HandshakeSink;
+}
+namespace emc::supply {
+class Harvester;
+}
+namespace emc::sensor {
+class CalibrationTable;
+}
+
+namespace emc::fault {
+
+class FaultableSupply;
+
+enum class FaultKind : std::uint8_t {
+  kSupplyBrownout,    ///< rail scaled by `scale` for the window (0 = dropout)
+  kHarvesterBlackout, ///< harvester output gated to zero for the window
+  kGateUpset,         ///< point event: flip one gate's output
+  kGateStuckAt,       ///< one gate held at `value` for the window
+  kHandshakeStall,    ///< one sink stops acking for the window
+  kSensorDrift,       ///< point event: affine miscalibration step
+};
+
+/// One fault window [start, start + duration). duration == kTimeMax
+/// marks a permanent fault: no end event is scheduled.
+struct Window {
+  sim::Time start = 0;
+  sim::Time duration = 0;
+};
+
+/// One fault process: a kind, its stochastic window parameters (or an
+/// explicit window list), and the kind-specific payload.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kSupplyBrownout;
+  std::uint64_t stream = 0;  ///< RNG stream id (= insertion ordinal)
+
+  // Stochastic generation over [0, horizon): exponential inter-arrival
+  // at `rate_hz` mean arrivals per simulated second, exponential
+  // durations of mean `mean_duration_s` (0 for point faults). Ignored
+  // when `windows` is non-empty.
+  double rate_hz = 0.0;
+  double mean_duration_s = 0.0;
+  std::vector<Window> windows;  ///< explicit windows (used verbatim)
+
+  // Payload.
+  double scale = 0.0;            ///< kSupplyBrownout: residual rail fraction
+  bool value = false;            ///< kGateStuckAt
+  double drift_gain_sigma = 0.0;    ///< kSensorDrift: gain ~ N(1, sigma)
+  double drift_offset_sigma_v = 0.0;  ///< kSensorDrift: offset ~ N(0, sigma)
+};
+
+/// What elaborate() scheduled (per plan; zero-target specs elaborate to
+/// nothing and count nothing).
+struct FaultReport {
+  std::uint64_t scheduled_events = 0;  ///< begin + end events
+  std::uint64_t windows = 0;           ///< windowed faults placed
+  std::uint64_t point_faults = 0;      ///< upsets + drift steps placed
+};
+
+class FaultPlan {
+ public:
+  /// Draws are keyed by `seed`; stochastic windows are generated over
+  /// [0, horizon).
+  FaultPlan(std::uint64_t seed, sim::Time horizon)
+      : seed_(seed), horizon_(horizon) {}
+
+  // --- spec builders (chainable; each call appends one spec/stream) ---
+
+  /// Supply brownouts: rail scaled to `residual_scale` of nominal.
+  FaultPlan& brownouts(double rate_hz, double mean_duration_s,
+                       double residual_scale);
+  /// Supply dropouts — brownouts to zero.
+  FaultPlan& dropouts(double rate_hz, double mean_duration_s) {
+    return brownouts(rate_hz, mean_duration_s, 0.0);
+  }
+  /// One explicit brownout window (deterministic tests/scenarios).
+  FaultPlan& brownout_window(sim::Time start, sim::Time duration,
+                             double residual_scale);
+  FaultPlan& dropout_window(sim::Time start, sim::Time duration) {
+    return brownout_window(start, duration, 0.0);
+  }
+
+  FaultPlan& harvester_blackouts(double rate_hz, double mean_duration_s);
+  FaultPlan& gate_upsets(double rate_hz);
+  FaultPlan& gate_stuck_at(double rate_hz, double mean_duration_s, bool value);
+  FaultPlan& handshake_stalls(double rate_hz, double mean_duration_s);
+  /// One explicit stall window (duration kTimeMax = permanent — the
+  /// deliberate-deadlock scenario the watchdog tests use).
+  FaultPlan& handshake_stall_window(sim::Time start, sim::Time duration);
+  FaultPlan& sensor_drift(double rate_hz, double gain_sigma,
+                          double offset_sigma_v);
+
+  std::uint64_t seed() const { return seed_; }
+  sim::Time horizon() const { return horizon_; }
+  const std::vector<FaultSpec>& specs() const { return specs_; }
+
+  /// The windows a spec elaborates to — explicit windows first, then the
+  /// keyed stochastic draw. Pure in (seed(), spec.stream): repeated
+  /// calls, other specs, other plans with the same seed and ordinal all
+  /// agree. Exposed for tests and for "same environment on two kernels".
+  std::vector<Window> windows_for(const FaultSpec& spec) const;
+
+  /// The injection surface a plan binds to. Any field may be left empty:
+  /// specs without a matching target elaborate to nothing. Target
+  /// *order* is part of the schedule for multi-target kinds (gate and
+  /// sink picks are drawn as indices), so build the vectors in a
+  /// deterministic order.
+  struct Targets {
+    FaultableSupply* supply = nullptr;
+    supply::Harvester* harvester = nullptr;
+    std::vector<gates::Gate*> gates;
+    std::vector<async::HandshakeSink*> sinks;
+    sensor::CalibrationTable* calibration = nullptr;
+  };
+
+  /// Schedule every spec's windows onto `kernel` against `targets`.
+  /// Idempotent in description (const); callable multiple times / onto
+  /// multiple kernels for lock-step comparisons.
+  FaultReport elaborate(sim::Kernel& kernel, const Targets& targets) const;
+
+ private:
+  FaultSpec& push(FaultKind kind);
+
+  std::uint64_t seed_;
+  sim::Time horizon_;
+  std::vector<FaultSpec> specs_;
+};
+
+}  // namespace emc::fault

@@ -17,12 +17,14 @@ DriveArena::Slot DriveArena::acquire(double delay_cload, double switch_cload,
     delay_.push_back(0);
     charge_.push_back(0.0);
     energy_.push_back(0.0);
+    op_.push_back(kOpUnknown);
     delay_cload_.push_back(0.0);
     switch_cload_.push_back(0.0);
     vth_offset_.push_back(0.0);
     strength_.push_back(1.0);
   }
   epoch_[s] = 0;
+  op_[s] = kOpUnknown;
   delay_cload_[s] = delay_cload;
   switch_cload_[s] = switch_cload;
   vth_offset_[s] = vth_offset;
@@ -30,18 +32,33 @@ DriveArena::Slot DriveArena::acquire(double delay_cload, double switch_cload,
   return s;
 }
 
-void DriveArena::release(Slot s) { free_.push_back(s); }
+void DriveArena::release(Slot s) {
+  if (op_[s] == kOpStalled) --stalled_live_;
+  op_[s] = kOpUnknown;
+  free_.push_back(s);
+}
 
 bool DriveArena::refresh(Slot s, const supply::Supply& supply,
                          const device::DelayModel& model) {
   const std::uint64_t e = supply.voltage_epoch();
-  if (e == epoch_[s]) return delay_[s] != kDriveStalled;
+  if (e == epoch_[s]) return op_[s] == kOpUp;
   epoch_[s] = e;
   const double vdd = supply.voltage();
+  const std::uint8_t prev = op_[s];
   if (!model.operational(vdd)) {
     delay_[s] = kDriveStalled;
+    if (prev != kOpStalled) {
+      op_[s] = kOpStalled;
+      ++stalled_live_;
+      ++stall_entries_;
+    }
     return false;
   }
+  if (prev == kOpStalled) {
+    --stalled_live_;
+    ++recoveries_;
+  }
+  op_[s] = kOpUp;
   delay_[s] = model.delay(vdd, delay_cload_[s], vth_offset_[s], strength_[s]);
   charge_[s] = model.switching_charge(vdd, switch_cload_[s]);
   energy_[s] = model.switching_energy(vdd, switch_cload_[s]);

@@ -37,9 +37,28 @@ namespace emc::gates {
 /// guarded by the operational check.)
 inline constexpr sim::Time kDriveStalled = sim::kTimeMax;
 
+/// How a switching element treats its state across a brownout (supply
+/// below Tech::vmin_operate). The paper's counters rely on retention —
+/// "continue, state intact, on the next crest" — but real arrays lose
+/// state when the retention voltage is violated, so the policy is
+/// explicit on gates::Context and both are first-class:
+///  * kRetainState — outputs and queued work survive the stall; on
+///    recovery the element resumes exactly where it parked (historical
+///    behaviour, and the default).
+///  * kLoseState — recovery is a power-on reset: outputs re-initialize
+///    low, queued input events are dropped, phase/sequencing state
+///    rewinds. Elements count the losses (Gate/Toggle::state_losses()).
+enum class BrownoutPolicy : std::uint8_t { kRetainState, kLoseState };
+
 class DriveArena {
  public:
   using Slot = std::uint32_t;
+
+  /// Explicit operational-lane states. A fresh slot is kOpUnknown until
+  /// its first refresh. Transitions are counted: entering kOpStalled
+  /// (from up or unknown — powering on below the floor is a stall too)
+  /// is a stall entry, kOpStalled -> kOpUp a recovery.
+  enum : std::uint8_t { kOpStalled = 0, kOpUp = 1, kOpUnknown = 2 };
 
   /// Claim a slot for an element with the given load capacitances
   /// (`delay_cload` sizes the delay, `switch_cload` the per-transition
@@ -76,6 +95,19 @@ class DriveArena {
     invalidate(s);  // delay depends on both
   }
 
+  /// Operational flag of `s` as of its last refresh (false for a slot
+  /// still in kOpUnknown).
+  bool operational(Slot s) const { return op_[s] == kOpUp; }
+
+  // --- brownout census (the quiescence-probe and figure hooks) ---
+  /// Live slots currently below the operating floor.
+  std::size_t stalled_live() const { return stalled_live_; }
+  bool any_stalled() const { return stalled_live_ > 0; }
+  /// Cumulative up->down transitions observed by refresh().
+  std::uint64_t stall_entries() const { return stall_entries_; }
+  /// Cumulative down->up transitions (brownout recoveries).
+  std::uint64_t recoveries() const { return recoveries_; }
+
   /// Slots currently claimed (live elements).
   std::size_t live() const { return epoch_.size() - free_.size(); }
   /// Slots ever created (arena footprint; live + recyclable).
@@ -87,6 +119,7 @@ class DriveArena {
   std::vector<sim::Time> delay_;
   std::vector<double> charge_;
   std::vector<double> energy_;
+  std::vector<std::uint8_t> op_;  // kOpStalled / kOpUp / kOpUnknown
   // Cold lanes: read only when the epoch advances and the drive state
   // actually recomputes.
   std::vector<double> delay_cload_;
@@ -94,6 +127,9 @@ class DriveArena {
   std::vector<double> vth_offset_;
   std::vector<double> strength_;
   std::vector<Slot> free_;
+  std::size_t stalled_live_ = 0;
+  std::uint64_t stall_entries_ = 0;
+  std::uint64_t recoveries_ = 0;
 };
 
 }  // namespace emc::gates

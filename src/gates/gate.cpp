@@ -27,6 +27,7 @@ void Gate::listen(sim::Wire& w) {
 }
 
 void Gate::on_input_change() {
+  if (stuck_) return;  // the fault holds the output; inputs are ignored
   const bool target = evaluate(out_->read());
   if (stalled_) {
     // Park with the freshest target; the retry path re-evaluates anyway.
@@ -103,9 +104,42 @@ void Gate::retry() {
     return;
   }
   stalled_ = false;
+  // Sync the arena's operational lane even when the output ends up not
+  // moving — quiescence probes read it, and a stale stalled flag would
+  // misreport a recovered circuit as kQuiesced.
+  ctx_->refresh_drive(hot_);
+  if (ctx_->brownout_policy == BrownoutPolicy::kLoseState) {
+    // Power-on reset: the retention voltage was violated, so the node
+    // re-initializes low (an undriven settling — no supply charge is
+    // billed) and any in-flight transition is void.
+    ++state_losses_;
+    pending_ = false;
+    ++generation_;
+    out_->set(false);
+  }
+  if (stuck_) return;  // the fault outlives the brownout
   // Re-derive the target from the (possibly changed) inputs.
   const bool target = evaluate(out_->read());
   if (target != out_->read()) schedule_output(target);
+}
+
+void Gate::inject_upset() {
+  ++upsets_;
+  out_->set(!out_->read());
+  if (!stalled_ && !stuck_) on_input_change();  // self-correction path
+}
+
+void Gate::force_stuck_at(bool v) {
+  stuck_ = true;
+  pending_ = false;  // retract any in-flight transition
+  ++generation_;
+  out_->set(v);
+}
+
+void Gate::release_stuck() {
+  if (!stuck_) return;
+  stuck_ = false;
+  if (!stalled_) on_input_change();
 }
 
 }  // namespace emc::gates

@@ -44,6 +44,10 @@ struct Context {
   supply::Supply& supply;
   EnergyMeter* meter = nullptr;  ///< optional
   DriveArena drives{};           ///< per-element hot state (SoA)
+  /// What elements do with their state across a brownout (see
+  /// BrownoutPolicy). Retention is the default — the historical
+  /// behaviour every recorded figure assumes.
+  BrownoutPolicy brownout_policy = BrownoutPolicy::kRetainState;
 
   /// Revalidate drive slot `s` against this context's supply; returns
   /// whether the element is operational at the current voltage.
@@ -77,6 +81,26 @@ class Gate {
 
   bool stalled() const { return stalled_; }
   std::uint64_t fires() const { return fires_; }
+  /// Power-on resets applied on brownout recovery (kLoseState only).
+  std::uint64_t state_losses() const { return state_losses_; }
+
+  // --- fault-injection hooks (driven by emc::fault::FaultPlan) ---
+
+  /// Transient upset (SEU model): flip the output node now, without
+  /// drawing supply charge (the upset is parasitic, not a driven
+  /// transition). An operational combinational gate then re-evaluates
+  /// and drives itself back — the downstream sees a glitch; a
+  /// state-holding gate (C-element) keeps the flipped value until its
+  /// inputs next agree. A stalled or stuck gate just keeps the flip.
+  void inject_upset();
+
+  /// Stuck-at fault: hold the output at `v` and ignore input changes
+  /// until release_stuck(). Any in-flight transition is retracted.
+  void force_stuck_at(bool v);
+  /// Clear the stuck-at fault and re-evaluate from the live inputs.
+  void release_stuck();
+  bool stuck() const { return stuck_; }
+  std::uint64_t upsets() const { return upsets_; }
 
   /// Per-instance threshold mismatch accessor (Monte-Carlo analyses).
   /// The device point lives in the context's DriveArena slot; setters
@@ -130,7 +154,10 @@ class Gate {
   std::uint64_t generation_ = 0;
   bool stalled_ = false;
   bool stall_target_ = false;
+  bool stuck_ = false;
   std::uint64_t fires_ = 0;
+  std::uint64_t state_losses_ = 0;
+  std::uint64_t upsets_ = 0;
 };
 
 }  // namespace emc::gates

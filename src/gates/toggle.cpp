@@ -80,6 +80,20 @@ void Toggle::retry() {
     return;
   }
   stalled_ = false;
+  // Keep the arena's operational lane honest even when nothing is queued
+  // (quiescence probes read it).
+  ctx_->refresh_drive(hot_);
+  if (ctx_->brownout_policy == BrownoutPolicy::kLoseState) {
+    // Power-on reset: queued events and the phase are dynamic state and
+    // do not survive a retention violation; outputs settle low undriven
+    // (no supply charge billed). Downstream elements resetting in the
+    // same wake cascade discard the resulting edges.
+    ++state_losses_;
+    unserved_ = 0;
+    phase_dot_ = true;
+    dot_->set(false);
+    blank_->set(false);
+  }
   try_fire();
 }
 

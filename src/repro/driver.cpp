@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <exception>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -161,8 +162,29 @@ FigureResult run_figure(const Figure& fig, const CliOptions& opt) {
   ctx.threads = opt.cross_threads.empty() ? 0 : opt.cross_threads.front();
   ctx.seed = r.seed;
 
+  // Graceful degradation: a figure body that throws must not take the
+  // rest of an --all run down with it. The exception becomes a
+  // run_failed status (aggregate exit stays nonzero) and the loop moves
+  // on to the next figure.
   const auto t0 = std::chrono::steady_clock::now();
-  const int rc = fig.run(ctx);
+  int rc = 0;
+  try {
+    rc = fig.run(ctx);
+  } catch (const std::exception& e) {
+    r.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    r.run_failed = true;
+    r.detail += std::string("    run() threw: ") + e.what() + "\n";
+    return r;
+  } catch (...) {
+    r.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    r.run_failed = true;
+    r.detail += "    run() threw a non-std exception\n";
+    return r;
+  }
   r.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -221,7 +243,23 @@ FigureResult run_figure(const Figure& fig, const CliOptions& opt) {
     ctx2.mode = ctx.mode;
     ctx2.threads = opt.cross_threads[t];
     ctx2.seed = r.seed;
-    if (fig.run(ctx2) != 0) {
+    int rc2 = 0;
+    try {
+      rc2 = fig.run(ctx2);
+    } catch (const std::exception& e) {
+      r.run_failed = true;
+      r.detail += "    re-run at threads=" +
+                  std::to_string(opt.cross_threads[t]) + " threw: " +
+                  e.what() + "\n";
+      return r;
+    } catch (...) {
+      r.run_failed = true;
+      r.detail += "    re-run at threads=" +
+                  std::to_string(opt.cross_threads[t]) +
+                  " threw a non-std exception\n";
+      return r;
+    }
+    if (rc2 != 0) {
       r.run_failed = true;
       r.detail += "    re-run at threads=" +
                   std::to_string(opt.cross_threads[t]) + " failed\n";

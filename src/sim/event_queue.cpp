@@ -333,6 +333,11 @@ bool EventQueue::ladder_refill() const {
       return false;
     }
     spread_overflow();
+    // A small spread sorts straight into the rung without creating
+    // buckets — in that case the refill is already done; looping back
+    // would see zero buckets + drained overflow and wrongly report an
+    // empty queue.
+    if (rung_pos_ < rung_.size()) return true;
   }
 }
 

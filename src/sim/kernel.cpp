@@ -1,6 +1,22 @@
 #include "sim/kernel.hpp"
 
+#include <algorithm>
+
 namespace emc::sim {
+
+const char* to_string(RunStatus s) {
+  switch (s) {
+    case RunStatus::kCompleted:
+      return "completed";
+    case RunStatus::kQuiesced:
+      return "quiesced";
+    case RunStatus::kDeadlocked:
+      return "deadlocked";
+    case RunStatus::kBudgetExhausted:
+      return "budget_exhausted";
+  }
+  return "?";
+}
 
 bool Kernel::step() {
   if (queue_.empty()) return false;
@@ -43,6 +59,62 @@ std::uint64_t Kernel::run_until(Time deadline) {
   return n;
 }
 
+std::size_t Kernel::add_probe(QuiescenceProbe probe) {
+  const std::size_t id = next_probe_id_++;
+  probes_.push_back(Probe{id, std::move(probe)});
+  return id;
+}
+
+void Kernel::remove_probe(std::size_t id) {
+  probes_.erase(std::remove_if(probes_.begin(), probes_.end(),
+                               [id](const Probe& p) { return p.id == id; }),
+                probes_.end());
+}
+
+RunVerdict Kernel::run_guarded(const Budget& budget) {
+  RunVerdict v;
+  const std::uint64_t start = executed_;
+  // Express the per-call budget through the absolute event cap run_until
+  // already enforces, restoring the caller's cap afterwards.
+  const std::uint64_t saved_cap = event_cap_;
+  const std::uint64_t budget_cap =
+      executed_ > UINT64_MAX - budget.max_events
+          ? UINT64_MAX
+          : executed_ + budget.max_events;
+  event_cap_ = saved_cap < budget_cap ? saved_cap : budget_cap;
+  run_until(budget.horizon);
+  const bool tripped = cap_hit_;
+  event_cap_ = saved_cap;
+  cap_hit_ = false;
+
+  v.events = executed_ - start;
+  v.end_time = now_;
+  for (const Probe& p : probes_) {
+    switch (p.fn()) {
+      case ProbeState::kStalled:
+        ++v.stalled_probes;
+        break;
+      case ProbeState::kBusy:
+        ++v.busy_probes;
+        break;
+      case ProbeState::kIdle:
+        break;
+    }
+  }
+  if (tripped) {
+    v.status = RunStatus::kBudgetExhausted;
+  } else if (!queue_.empty()) {
+    v.status = RunStatus::kCompleted;  // horizon reached mid-activity
+  } else if (v.busy_probes > 0 && v.stalled_probes == 0) {
+    v.status = RunStatus::kDeadlocked;
+  } else if (v.stalled_probes > 0) {
+    v.status = RunStatus::kQuiesced;
+  } else {
+    v.status = RunStatus::kCompleted;
+  }
+  return v;
+}
+
 void Kernel::reset() {
   queue_.clear();
   queue_.reset_stats();
@@ -50,6 +122,7 @@ void Kernel::reset() {
   executed_ = 0;
   cap_hit_ = false;
   wall_seconds_ = 0.0;
+  probes_.clear();
 }
 
 }  // namespace emc::sim

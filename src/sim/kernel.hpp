@@ -13,6 +13,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,43 @@
 #include "sim/time.hpp"
 
 namespace emc::sim {
+
+/// What a quiescence probe reports when the event queue drains (see
+/// Kernel::run_guarded). Probes are how protocol-level liveness is made
+/// visible to the kernel: the queue being empty is indistinguishable
+/// from deadlock without them.
+enum class ProbeState : std::uint8_t {
+  kIdle,     ///< nothing in progress — draining here is completion
+  kStalled,  ///< power-starved; would resume if energy arrived
+  kBusy,     ///< mid-protocol with no pending event — a lost handshake
+};
+
+/// Structured outcome of a guarded run (never hangs, never aborts).
+enum class RunStatus : std::uint8_t {
+  kCompleted,        ///< horizon reached, or drained with all probes idle
+  kQuiesced,         ///< drained while power-starved (stalled probes)
+  kDeadlocked,       ///< drained mid-protocol (busy, nothing stalled)
+  kBudgetExhausted,  ///< event budget tripped before the horizon
+};
+
+const char* to_string(RunStatus s);
+
+/// Limits for one run_guarded() call.
+struct Budget {
+  Time horizon = kTimeMax;                  ///< absolute sim-time deadline
+  std::uint64_t max_events = 500'000'000;   ///< events THIS call may execute
+};
+
+/// run_guarded()'s verdict: what stopped the run and the probe census at
+/// the stop point.
+struct RunVerdict {
+  RunStatus status = RunStatus::kCompleted;
+  std::uint64_t events = 0;        ///< events executed by this call
+  Time end_time = 0;               ///< kernel time when the run stopped
+  std::size_t stalled_probes = 0;  ///< probes reporting kStalled
+  std::size_t busy_probes = 0;     ///< probes reporting kBusy
+  bool ok() const { return status == RunStatus::kCompleted; }
+};
 
 class Kernel {
  public:
@@ -102,6 +140,33 @@ class Kernel {
   /// Run until the queue drains (or the safety cap trips).
   std::uint64_t run() { return run_until(kTimeMax); }
 
+  /// A quiescence probe: called (only) when a guarded run stops, to
+  /// classify an empty queue. Register one per protocol actor or per
+  /// stall-capable subsystem (e.g. "is any gate parked?", "is the
+  /// handshake source mid-cycle?"). Returns an id for remove_probe().
+  using QuiescenceProbe = std::function<ProbeState()>;
+  std::size_t add_probe(QuiescenceProbe probe);
+  void remove_probe(std::size_t id);
+  /// Drop all probes. Also done by reset(): probes usually capture
+  /// scenario-lifetime objects, which die with the scenario.
+  void clear_probes() { probes_.clear(); }
+  std::size_t probe_count() const { return probes_.size(); }
+
+  /// Watchdog run: like run_until(budget.horizon) but bounded by a
+  /// per-call event budget and classified on exit. Reaching the horizon
+  /// is kCompleted (the horizon is the experiment's intent; pending
+  /// events at the deadline are normal for oscillators and harvesters).
+  /// Exhausting the event budget first is kBudgetExhausted — the
+  /// runaway/livelock tripwire. Draining the queue early consults the
+  /// registered probes: any kBusy with nothing kStalled is kDeadlocked
+  /// (mid-protocol, no event will ever arrive), any kStalled is
+  /// kQuiesced (power-starved; energy could resume it), all-idle is
+  /// kCompleted. Note that perpetual background activity (harvester
+  /// ticks, free-running oscillators) keeps the queue non-empty, masking
+  /// a wedged protocol from drain detection — the budgets are the
+  /// backstop there, and completion counters tell the real story.
+  RunVerdict run_guarded(const Budget& budget = Budget{});
+
   /// True if no event is pending.
   bool idle() const { return queue_.empty(); }
 
@@ -129,7 +194,8 @@ class Kernel {
 
   /// Reset time and drop all pending events; registered objects survive.
   /// EventIds handed out before the reset are invalidated — cancelling
-  /// one afterwards never touches a post-reset event.
+  /// one afterwards never touches a post-reset event. Quiescence probes
+  /// are dropped too (they capture scenario-lifetime objects).
   void reset();
 
  private:
@@ -138,12 +204,19 @@ class Kernel {
     return s < a ? kTimeMax : s;
   }
 
+  struct Probe {
+    std::size_t id;
+    QuiescenceProbe fn;
+  };
+
   EventQueue queue_;
   Time now_ = 0;
   std::uint64_t executed_ = 0;
   std::uint64_t event_cap_ = 500'000'000;
   bool cap_hit_ = false;
   double wall_seconds_ = 0.0;
+  std::vector<Probe> probes_;
+  std::size_t next_probe_id_ = 0;
 };
 
 }  // namespace emc::sim

@@ -8,6 +8,7 @@
 // write at high Vdd is fast") and for ramp/step stress tests.
 #pragma once
 
+#include <cmath>
 #include <functional>
 #include <utility>
 #include <vector>
@@ -24,8 +25,12 @@ class Battery final : public Supply {
   double voltage() const override { return volts_; }
 
   /// Model a (slow) externally-commanded level change, e.g. DVFS.
+  /// Defensive: a non-finite command is ignored, a negative one clamps
+  /// to 0 V — a DVFS controller gone wrong must not poison every gate
+  /// delay downstream.
   void set_voltage(double volts) {
-    volts_ = volts;
+    if (!std::isfinite(volts)) return;
+    volts_ = volts < 0.0 ? 0.0 : volts;
     bump_voltage_epoch();
   }
 

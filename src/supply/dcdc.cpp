@@ -31,6 +31,7 @@ double DcdcConverter::efficiency_at(double p_load) const {
 
 void DcdcConverter::draw(double charge, double energy) {
   Supply::draw(charge, energy);
+  if (!draw_ok(charge, energy)) return;  // rejected — input not billed
   // Update the smoothed load-power estimate from inter-draw spacing.
   const sim::Time now = kernel().now();
   if (now > last_draw_) {

@@ -60,6 +60,7 @@ void Harvester::start() {
 }
 
 double Harvester::instantaneous_power() const {
+  if (blackout_depth_ > 0) return 0.0;
   return profile_.power_w[static_cast<std::size_t>(state_)] * jitter_factor_;
 }
 
@@ -89,7 +90,9 @@ void Harvester::step() {
   maybe_transition();
   const double p = instantaneous_power();
   const double joules = p * sim::to_seconds(tick_) * efficiency_;
-  if (joules > 0.0) {
+  // `> 0` rejects NaN from a poisoned profile; isfinite rejects +inf —
+  // neither may reach the store or the harvest bookkeeping.
+  if (joules > 0.0 && std::isfinite(joules)) {
     store_->deposit_energy(joules);
     harvested_j_ += joules;
   }

@@ -66,6 +66,18 @@ class Harvester {
   double instantaneous_power() const;
   double total_energy_harvested() const { return harvested_j_; }
 
+  /// Fault hook (emc::fault): a blackout gates the harvester's output to
+  /// zero without disturbing the Markov environment process — the
+  /// ambient energy is still there, the front-end just cannot convert
+  /// it, so the RNG stream (and every non-faulted draw after recovery)
+  /// is identical to the fault-free run. Begin/end calls nest (overlap
+  /// from independent fault streams is counted, not clobbered).
+  void begin_blackout() { ++blackout_depth_; }
+  void end_blackout() {
+    if (blackout_depth_ > 0) --blackout_depth_;
+  }
+  bool blacked_out() const { return blackout_depth_ > 0; }
+
   void enable_trace() { tracing_ = true; }
   const sim::AnalogTrace& power_trace() const { return power_trace_; }
 
@@ -83,6 +95,7 @@ class Harvester {
   double efficiency_ = 1.0;
   double harvested_j_ = 0.0;
   double jitter_factor_ = 1.0;
+  std::uint32_t blackout_depth_ = 0;
   bool running_ = false;
   bool tracing_ = false;
   sim::AnalogTrace power_trace_{"p_harvest"};

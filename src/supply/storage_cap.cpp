@@ -18,13 +18,17 @@ StorageCap::StorageCap(sim::Kernel& kernel, std::string name,
 
 void StorageCap::draw(double charge, double energy) {
   Supply::draw(charge, energy);
+  if (!draw_ok(charge, energy)) return;  // rejected — store untouched
   charge_ = std::max(0.0, charge_ - charge);
   bump_voltage_epoch();
   record();
 }
 
 double StorageCap::deposit_energy(double joules) {
-  if (joules > 0.0) {
+  // `joules > 0.0` rejects NaN and negatives; isfinite rejects +inf
+  // (sqrt would push the stored charge to inf and the rail's voltage
+  // with it).
+  if (joules > 0.0 && std::isfinite(joules)) {
     // E = (Q'^2 - Q^2) / 2C  =>  Q' = sqrt(Q^2 + 2CE)
     const double before = voltage();
     const double e_before = stored_energy();
@@ -40,6 +44,10 @@ double StorageCap::deposit_energy(double joules) {
 }
 
 void StorageCap::deposit_charge(double coulombs) {
+  // Reject non-finite injections outright: std::max(0.0, q + NaN)
+  // silently returns 0.0, which would ZERO the store instead of leaving
+  // it alone — the worst possible propagation of a poisoned upstream.
+  if (!std::isfinite(coulombs)) return;
   const double before = voltage();
   const double e_before = stored_energy();
   const double dq = coulombs;

@@ -3,6 +3,10 @@
 namespace emc::supply {
 
 void Supply::draw(double charge, double energy) {
+  if (!draw_ok(charge, energy)) {
+    ++rejected_draws_;
+    return;
+  }
   total_charge_ += charge;
   total_energy_ += energy;
   ++draw_count_;

@@ -16,6 +16,7 @@
 // simply freezes — exactly the paper's "operate while energy lasts".
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -44,6 +45,13 @@ class Supply {
   /// The load draws `charge` [C] / `energy` [J] (one gate transition or a
   /// batched macro-op). Default implementation only does bookkeeping;
   /// capacitor-backed supplies also drop their voltage.
+  ///
+  /// Defensive invariant: a draw must be finite and non-negative. A
+  /// non-finite or negative draw (a NaN-poisoned model, a faulted
+  /// upstream) is rejected — counted in rejected_draws(), otherwise a
+  /// no-op — instead of corrupting the store. Subclass overrides call
+  /// the base first and return if the draw was rejected
+  /// (`if (!draw_ok(charge, energy)) return;` after `Supply::draw`).
   virtual void draw(double charge, double energy);
 
   /// How long a stalled gate should wait before re-sampling the voltage.
@@ -79,8 +87,15 @@ class Supply {
   double total_charge_drawn() const { return total_charge_; }
   double total_energy_drawn() const { return total_energy_; }
   std::uint64_t draw_count() const { return draw_count_; }
+  /// Draws rejected by the defensive invariant (non-finite or negative).
+  std::uint64_t rejected_draws() const { return rejected_draws_; }
 
  protected:
+  /// The defensive draw invariant (see draw()). NaN fails `>= 0`.
+  static bool draw_ok(double charge, double energy) {
+    return charge >= 0.0 && energy >= 0.0 && std::isfinite(charge) &&
+           std::isfinite(energy);
+  }
   /// Record that voltage() may now return a different value (see
   /// voltage_epoch). Cheap enough to call unconditionally from draw().
   void bump_voltage_epoch() { ++epoch_; }
@@ -123,6 +138,7 @@ class Supply {
   double total_charge_ = 0.0;
   double total_energy_ = 0.0;
   std::uint64_t draw_count_ = 0;
+  std::uint64_t rejected_draws_ = 0;
 };
 
 }  // namespace emc::supply

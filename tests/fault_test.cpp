@@ -1,0 +1,514 @@
+// Fault-injection & survivability tests.
+//
+// What is pinned here:
+//   * heap vs ladder lock-step: the same FaultPlan on the same circuit
+//     produces byte-equal RunVerdicts and counters on both event-queue
+//     structures, over randomized >=10k-event fault schedules;
+//   * brownout semantics: kRetainState resumes counting with no state
+//     loss; kLoseState applies a power-on reset and counts it;
+//   * the kernel watchdog: a deliberately deadlocked handshake is
+//     classified kDeadlocked (no hang, no abort), energy exhaustion is
+//     kQuiesced, a tripped event budget is kBudgetExhausted and leaves
+//     the kernel usable, a clean drain is kCompleted;
+//   * FaultPlan purity: windows_for is pure in (seed, stream ordinal),
+//     and a fault-driven Workbench sweep is byte-identical at sweep
+//     thread counts 1, 4 and 7;
+//   * gate fault hooks: transient upsets self-correct on combinational
+//     gates and persist on state-holding C-elements; stuck-at faults
+//     hold through input changes and release cleanly;
+//   * FaultableSupply: transparent with no windows, min-scale under
+//     overlap, forwards draws/wakes, bumps the voltage epoch;
+//   * EMC_FAULT_SMOKE=1 forces the wrapper under every built config.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "async/counter.hpp"
+#include "async/handshake.hpp"
+#include "device/delay_model.hpp"
+#include "exp/context_config.hpp"
+#include "exp/workbench.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/faultable_supply.hpp"
+#include "gates/celement.hpp"
+#include "gates/combinational.hpp"
+#include "sensor/calibration.hpp"
+#include "sim/event_queue.hpp"
+#include "supply/battery.hpp"
+
+namespace emc::fault {
+namespace {
+
+struct Fixture {
+  sim::Kernel kernel;
+  device::DelayModel model{device::Tech::umc90()};
+  supply::Battery supply;
+  gates::Context ctx;
+
+  explicit Fixture(double vdd = 1.0)
+      : supply(kernel, "vdd", vdd), ctx{kernel, model, supply, nullptr} {}
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// --- heap vs ladder lock-step ------------------------------------------
+
+struct LockstepOutcome {
+  sim::RunStatus status;
+  std::uint64_t events;
+  sim::Time end_time;
+  std::uint64_t served;
+  std::uint64_t stall_entries;
+  std::uint64_t recoveries;
+  std::uint64_t faults_seen;
+};
+
+bool operator==(const LockstepOutcome& a, const LockstepOutcome& b) {
+  return a.status == b.status && a.events == b.events &&
+         a.end_time == b.end_time && a.served == b.served &&
+         a.stall_entries == b.stall_entries && a.recoveries == b.recoveries &&
+         a.faults_seen == b.faults_seen;
+}
+
+/// One faulted oscillator scenario on an explicitly chosen queue
+/// structure: near-threshold battery, randomized dropout + brownout
+/// streams, 200 us horizon.
+LockstepOutcome run_faulted(sim::QueueKind q, std::uint64_t seed) {
+  sim::Kernel kernel(q);
+  auto ex = exp::ContextConfig::with(
+                exp::SupplyConfig::battery(0.35).faultable())
+                .build(kernel);
+  async::ToggleRippleCounter ctr(ex.ctx(), "osc", 4);
+  ctr.start();
+
+  FaultPlan plan(seed, sim::us(200));
+  plan.dropouts(5e4, 4e-6).brownouts(8e4, 2e-6, 0.3);
+  FaultPlan::Targets t;
+  t.supply = ex.fault_supply();
+  plan.elaborate(kernel, t);
+
+  kernel.add_probe([&] {
+    return ex.ctx().drives.any_stalled() ? sim::ProbeState::kStalled
+                                         : sim::ProbeState::kIdle;
+  });
+  sim::Budget b;
+  b.horizon = sim::us(200);
+  const sim::RunVerdict v = kernel.run_guarded(b);
+  return {v.status,
+          v.events,
+          v.end_time,
+          ctr.transitions_served(),
+          ex.ctx().drives.stall_entries(),
+          ex.ctx().drives.recoveries(),
+          ex.fault_supply()->faults_seen()};
+}
+
+TEST(FaultLockstep, HeapAndLadderProduceIdenticalVerdicts) {
+  for (const std::uint64_t seed : {3u, 17u, 99u}) {
+    const LockstepOutcome heap = run_faulted(sim::QueueKind::kBinaryHeap, seed);
+    const LockstepOutcome ladder = run_faulted(sim::QueueKind::kLadder, seed);
+    EXPECT_TRUE(heap == ladder) << "seed " << seed;
+    // The schedule must be substantial, not a trivial handful of events.
+    EXPECT_GE(heap.events, 10000u) << "seed " << seed;
+    EXPECT_GT(heap.faults_seen, 0u) << "seed " << seed;
+    EXPECT_GT(heap.stall_entries, 0u) << "seed " << seed;
+  }
+}
+
+// --- brownout semantics ------------------------------------------------
+
+TEST(Brownout, RetainStateResumesCountingWithoutLoss) {
+  sim::Kernel kernel;
+  auto ex = exp::ContextConfig::with(
+                exp::SupplyConfig::battery(0.35).faultable())
+                .build(kernel);
+  ASSERT_EQ(ex.ctx().brownout_policy, gates::BrownoutPolicy::kRetainState);
+  async::ToggleRippleCounter ctr(ex.ctx(), "osc", 3);
+  ctr.start();
+
+  FaultPlan plan(1, sim::us(60));
+  plan.dropout_window(sim::us(20), sim::us(10));
+  FaultPlan::Targets t;
+  t.supply = ex.fault_supply();
+  plan.elaborate(kernel, t);
+
+  kernel.run_until(sim::us(25));  // mid-dropout
+  const std::uint64_t mid = ctr.transitions_served();
+  EXPECT_GT(mid, 0u);
+  EXPECT_TRUE(ex.ctx().drives.any_stalled());
+
+  kernel.run_until(sim::us(60));
+  EXPECT_GT(ctr.transitions_served(), mid);  // resumed after recovery
+  EXPECT_GT(ex.ctx().drives.stall_entries(), 0u);
+  EXPECT_GT(ex.ctx().drives.recoveries(), 0u);
+  for (std::size_t i = 0; i < ctr.stages(); ++i) {
+    EXPECT_EQ(ctr.stage(i).state_losses(), 0u) << "stage " << i;
+  }
+  // Retention keeps the decode exactness guarantee across the brownout.
+  EXPECT_EQ(ctr.decode(), ctr.transitions_served() % 8u);
+}
+
+TEST(Brownout, LoseStateAppliesCountedPowerOnReset) {
+  sim::Kernel kernel;
+  auto ex = exp::ContextConfig::with(
+                exp::SupplyConfig::battery(0.35).faultable())
+                .build(kernel);
+  ex.ctx().brownout_policy = gates::BrownoutPolicy::kLoseState;
+  async::ToggleRippleCounter ctr(ex.ctx(), "osc", 3);
+  ctr.start();
+
+  FaultPlan plan(1, sim::us(60));
+  plan.dropout_window(sim::us(20), sim::us(10));
+  FaultPlan::Targets t;
+  t.supply = ex.fault_supply();
+  plan.elaborate(kernel, t);
+
+  kernel.run_until(sim::us(25));
+  const std::uint64_t mid = ctr.transitions_served();
+  kernel.run_until(sim::us(60));
+  EXPECT_GT(ctr.transitions_served(), mid);  // oscillation restarts
+
+  std::uint64_t losses = 0;
+  for (std::size_t i = 0; i < ctr.stages(); ++i) {
+    losses += ctr.stage(i).state_losses();
+  }
+  EXPECT_GT(losses, 0u);
+}
+
+// --- kernel watchdog ---------------------------------------------------
+
+TEST(Watchdog, DeadlockedHandshakeIsClassifiedNotHungOn) {
+  sim::Kernel kernel;
+  auto ex = exp::ContextConfig::battery(1.0).build(kernel);
+  sim::Wire req(kernel, "req", false), ack(kernel, "ack", false);
+  async::Channel ch{&req, &ack};
+  async::HandshakeSource src(ex.ctx(), "src", ch);
+  async::HandshakeSink sink(ex.ctx(), "sink", ch, 2.0);
+  src.start(100000);  // far more cycles than fit before the stall
+
+  // A permanent stall window: the sink stops acking and never recovers.
+  FaultPlan plan(0, sim::us(10));
+  plan.handshake_stall_window(sim::ns(10), sim::kTimeMax);
+  FaultPlan::Targets t;
+  t.sinks.push_back(&sink);
+  plan.elaborate(kernel, t);
+
+  kernel.add_probe([&] {
+    return src.mid_protocol() ? sim::ProbeState::kBusy
+                              : sim::ProbeState::kIdle;
+  });
+  const sim::RunVerdict v = kernel.run_guarded();  // default budget
+  EXPECT_EQ(v.status, sim::RunStatus::kDeadlocked);
+  EXPECT_EQ(v.busy_probes, 1u);
+  EXPECT_EQ(v.stalled_probes, 0u);
+  EXPECT_LT(src.completed(), 100000u);
+  EXPECT_STREQ(sim::to_string(v.status), "deadlocked");
+}
+
+TEST(Watchdog, EnergyExhaustionIsQuiesced) {
+  // A sample cap too small to carry the batch: the circuit freezes when
+  // the charge runs out (retry_hint = kTimeMax, no wake possible).
+  sim::Kernel kernel;
+  auto ex = exp::ContextConfig::with(exp::SupplyConfig::sample_cap(2e-12, 0.5))
+                .build(kernel);
+  async::ToggleRippleCounter ctr(ex.ctx(), "osc", 3);
+  ctr.start();
+  kernel.add_probe([&] {
+    return ex.ctx().drives.any_stalled() ? sim::ProbeState::kStalled
+                                         : sim::ProbeState::kIdle;
+  });
+  const sim::RunVerdict v = kernel.run_guarded();
+  EXPECT_EQ(v.status, sim::RunStatus::kQuiesced);
+  EXPECT_EQ(v.stalled_probes, 1u);
+  EXPECT_GT(ctr.transitions_served(), 0u);  // ran while energy lasted
+}
+
+TEST(Watchdog, BudgetExhaustionIsReportedAndRecoverable) {
+  sim::Kernel kernel;
+  auto ex = exp::ContextConfig::battery(1.0).build(kernel);
+  async::ToggleRippleCounter ctr(ex.ctx(), "osc", 3);
+  ctr.start();
+  sim::Budget tight;
+  tight.horizon = sim::ms(1);
+  tight.max_events = 500;
+  const sim::RunVerdict v1 = kernel.run_guarded(tight);
+  EXPECT_EQ(v1.status, sim::RunStatus::kBudgetExhausted);
+  EXPECT_EQ(v1.events, 500u);
+  // The budget cap is scoped to the call: a follow-up run proceeds.
+  sim::Budget wide;
+  wide.horizon = v1.end_time + sim::us(1);
+  const sim::RunVerdict v2 = kernel.run_guarded(wide);
+  EXPECT_EQ(v2.status, sim::RunStatus::kCompleted);
+  EXPECT_GT(v2.events, 500u);
+}
+
+TEST(Watchdog, CleanCompletionIsCompleted) {
+  sim::Kernel kernel;
+  auto ex = exp::ContextConfig::battery(1.0).build(kernel);
+  sim::Wire req(kernel, "req", false), ack(kernel, "ack", false);
+  async::Channel ch{&req, &ack};
+  async::HandshakeSource src(ex.ctx(), "src", ch);
+  async::HandshakeSink sink(ex.ctx(), "sink", ch, 2.0);
+  src.start(10);
+  kernel.add_probe([&] {
+    return src.mid_protocol() ? sim::ProbeState::kBusy
+                              : sim::ProbeState::kIdle;
+  });
+  const sim::RunVerdict v = kernel.run_guarded();
+  EXPECT_EQ(v.status, sim::RunStatus::kCompleted);
+  EXPECT_TRUE(v.ok());
+  EXPECT_EQ(src.completed(), 10u);
+  EXPECT_EQ(v.busy_probes, 0u);
+}
+
+TEST(Watchdog, StalledSinkProbeReadsQuiescedNotDeadlocked) {
+  // Same wedged handshake, but the probe knows the sink is fault-stalled
+  // — the census then reads "would resume if the fault cleared", which
+  // classifies as quiesced rather than deadlocked.
+  sim::Kernel kernel;
+  auto ex = exp::ContextConfig::battery(1.0).build(kernel);
+  sim::Wire req(kernel, "req", false), ack(kernel, "ack", false);
+  async::Channel ch{&req, &ack};
+  async::HandshakeSource src(ex.ctx(), "src", ch);
+  async::HandshakeSink sink(ex.ctx(), "sink", ch, 2.0);
+  src.start(1000);
+  FaultPlan plan(0, sim::us(10));
+  plan.handshake_stall_window(sim::ns(10), sim::kTimeMax);
+  FaultPlan::Targets t;
+  t.sinks.push_back(&sink);
+  plan.elaborate(kernel, t);
+  kernel.add_probe([&] {
+    if (!src.mid_protocol()) return sim::ProbeState::kIdle;
+    return sink.stalled() ? sim::ProbeState::kStalled
+                          : sim::ProbeState::kBusy;
+  });
+  const sim::RunVerdict v = kernel.run_guarded();
+  EXPECT_EQ(v.status, sim::RunStatus::kQuiesced);
+  ASSERT_LT(src.completed(), 1000u);
+  // Resuming the sink un-wedges the protocol: the pending req edge is
+  // replayed and the batch completes.
+  sink.resume();
+  const sim::RunVerdict v2 = kernel.run_guarded();
+  EXPECT_EQ(v2.status, sim::RunStatus::kCompleted);
+  EXPECT_EQ(src.completed(), 1000u);
+}
+
+// --- FaultPlan determinism ---------------------------------------------
+
+TEST(FaultPlanTest, WindowsArePureInSeedAndOrdinal) {
+  FaultPlan a(42, sim::us(500));
+  a.dropouts(1e5, 5e-6).handshake_stalls(2e4, 1e-5);
+  FaultPlan b(42, sim::us(500));
+  b.dropouts(1e5, 5e-6).gate_upsets(1e5);
+
+  const auto wa = a.windows_for(a.specs()[0]);
+  const auto wb = b.windows_for(b.specs()[0]);
+  ASSERT_FALSE(wa.empty());
+  ASSERT_EQ(wa.size(), wb.size());
+  for (std::size_t i = 0; i < wa.size(); ++i) {
+    EXPECT_EQ(wa[i].start, wb[i].start);
+    EXPECT_EQ(wa[i].duration, wb[i].duration);
+  }
+  // Repeated generation is stable (const, freshly keyed each call).
+  const auto wa2 = a.windows_for(a.specs()[0]);
+  ASSERT_EQ(wa.size(), wa2.size());
+  for (std::size_t i = 0; i < wa.size(); ++i) {
+    EXPECT_EQ(wa[i].start, wa2[i].start);
+    EXPECT_EQ(wa[i].duration, wa2[i].duration);
+  }
+  // A different ordinal is a different stream.
+  const auto ws1 = a.windows_for(a.specs()[1]);
+  ASSERT_FALSE(ws1.empty());
+  EXPECT_NE(ws1[0].start, wa[0].start);
+  // Windows within one spec are sequential and non-overlapping.
+  for (std::size_t i = 1; i < wa.size(); ++i) {
+    EXPECT_GE(wa[i].start, wa[i - 1].start + wa[i - 1].duration);
+  }
+}
+
+TEST(FaultPlanTest, FaultedSweepIsThreadCountInvariant) {
+  const auto run_at = [](unsigned threads, const std::string& path) {
+    exp::Workbench wb("zz_fault_sweep");
+    wb.threads(threads);
+    wb.grid().over("dropout_hz", {0.0, 1e5});
+    wb.replicate(3, 77);
+    wb.columns({"dropout_hz", "trial", "served", "status"});
+    wb.run([](const exp::ParamSet& p, exp::Recorder& rec) {
+      sim::Kernel kernel;
+      auto ex = exp::ContextConfig::with(
+                    exp::SupplyConfig::battery(0.35).faultable())
+                    .build(kernel);
+      async::ToggleRippleCounter ctr(ex.ctx(), "osc", 3);
+      ctr.start();
+      FaultPlan plan(p.get<std::uint64_t>("trial_seed"), sim::us(50));
+      plan.dropouts(p.get<double>("dropout_hz"), 3e-6);
+      FaultPlan::Targets t;
+      t.supply = ex.fault_supply();
+      plan.elaborate(kernel, t);
+      sim::Budget b;
+      b.horizon = sim::us(50);
+      const sim::RunVerdict v = kernel.run_guarded(b);
+      rec.row()
+          .set("dropout_hz", p.get<double>("dropout_hz"), 0)
+          .set("trial", p.get<int>("trial"))
+          .set("served", ctr.transitions_served())
+          .set("status", sim::to_string(v.status));
+    });
+    wb.write_csv(path);
+  };
+  run_at(1, "zz_fault_sweep_t1.csv");
+  run_at(4, "zz_fault_sweep_t4.csv");
+  run_at(7, "zz_fault_sweep_t7.csv");
+  const std::string t1 = slurp("zz_fault_sweep_t1.csv");
+  ASSERT_FALSE(t1.empty());
+  EXPECT_EQ(t1, slurp("zz_fault_sweep_t4.csv"));
+  EXPECT_EQ(t1, slurp("zz_fault_sweep_t7.csv"));
+  std::remove("zz_fault_sweep_t1.csv");
+  std::remove("zz_fault_sweep_t4.csv");
+  std::remove("zz_fault_sweep_t7.csv");
+}
+
+TEST(FaultPlanTest, ElaborateDrivesGateAndSensorTargets) {
+  Fixture f;
+  sim::Wire in(f.kernel, "in", false), out(f.kernel, "out", false);
+  gates::CombGate inv(f.ctx, "inv", gates::Op::kInv, {&in}, out);
+  inv.touch();
+  f.kernel.run();
+
+  sensor::CalibrationTable cal;
+  cal.add(0.0, 0.0);
+  cal.add(100.0, 1.0);
+  const double before = cal.lookup(50.0);
+
+  FaultPlan plan(5, sim::ms(1));
+  plan.gate_upsets(2e4).sensor_drift(2e4, 0.05, 0.01);
+  FaultPlan::Targets t;
+  t.gates.push_back(&inv);
+  t.calibration = &cal;
+  const FaultReport rep = plan.elaborate(f.kernel, t);
+  EXPECT_GT(rep.point_faults, 0u);
+  EXPECT_EQ(rep.windows, 0u);
+
+  f.kernel.run();
+  EXPECT_GT(inv.upsets(), 0u);
+  EXPECT_GT(cal.drift_steps(), 0u);
+  EXPECT_EQ(inv.upsets() + cal.drift_steps(), rep.point_faults);
+  EXPECT_NE(cal.lookup(50.0), before);
+}
+
+// --- gate fault hooks --------------------------------------------------
+
+TEST(GateFaults, UpsetSelfCorrectsOnCombinationalGate) {
+  Fixture f;
+  sim::Wire in(f.kernel, "in", false), out(f.kernel, "out", false);
+  gates::CombGate inv(f.ctx, "inv", gates::Op::kInv, {&in}, out);
+  inv.touch();
+  f.kernel.run();
+  ASSERT_TRUE(out.read());
+
+  inv.inject_upset();
+  EXPECT_FALSE(out.read());  // flipped immediately, no charge drawn
+  f.kernel.run();
+  EXPECT_TRUE(out.read());  // the operational gate drove itself back
+  EXPECT_EQ(inv.upsets(), 1u);
+}
+
+TEST(GateFaults, UpsetPersistsOnCElement) {
+  Fixture f;
+  sim::Wire a(f.kernel, "a", true), b(f.kernel, "b", false);
+  sim::Wire out(f.kernel, "out", false);
+  gates::CElement c(f.ctx, "c", {&a, &b}, out);
+  c.touch();
+  f.kernel.run();
+  ASSERT_FALSE(out.read());  // inputs disagree: holds 0
+
+  c.inject_upset();
+  EXPECT_TRUE(out.read());
+  f.kernel.run();
+  EXPECT_TRUE(out.read());  // still disagreeing inputs: the flip sticks
+}
+
+TEST(GateFaults, StuckAtHoldsThroughInputChangesUntilReleased) {
+  Fixture f;
+  sim::Wire in(f.kernel, "in", true), out(f.kernel, "out", false);
+  gates::CombGate inv(f.ctx, "inv", gates::Op::kInv, {&in}, out);
+  inv.touch();
+  f.kernel.run();
+  ASSERT_FALSE(out.read());
+
+  inv.force_stuck_at(false);
+  EXPECT_TRUE(inv.stuck());
+  in.set(false);  // correct output would now be 1
+  f.kernel.run();
+  EXPECT_FALSE(out.read());  // ignored while stuck
+
+  inv.release_stuck();
+  f.kernel.run();
+  EXPECT_FALSE(inv.stuck());
+  EXPECT_TRUE(out.read());  // re-evaluated from live inputs
+}
+
+// --- FaultableSupply ---------------------------------------------------
+
+TEST(FaultableSupplyTest, ScalesByMinActiveWindowAndForwards) {
+  sim::Kernel kernel;
+  supply::Battery bat(kernel, "vdd", 1.0);
+  FaultableSupply fs(bat);
+
+  EXPECT_DOUBLE_EQ(fs.voltage(), 1.0);  // transparent with no windows
+  EXPECT_FALSE(fs.fault_active());
+  const std::uint64_t e0 = fs.voltage_epoch();
+
+  fs.begin_fault(0.5);
+  EXPECT_DOUBLE_EQ(fs.voltage(), 0.5);
+  fs.begin_fault(0.2);
+  EXPECT_DOUBLE_EQ(fs.voltage(), 0.2);  // deepest active fault wins
+  EXPECT_EQ(fs.active_faults(), 2u);
+  fs.end_fault(0.5);
+  EXPECT_DOUBLE_EQ(fs.voltage(), 0.2);  // order-independent removal
+  fs.end_fault(0.2);
+  EXPECT_DOUBLE_EQ(fs.voltage(), 1.0);
+  EXPECT_FALSE(fs.fault_active());
+  EXPECT_EQ(fs.faults_seen(), 2u);
+  EXPECT_GT(fs.voltage_epoch(), e0);  // every transition bumps the epoch
+
+  // Draws reach the inner supply's bookkeeping.
+  fs.draw(1e-15, 1e-15);
+  EXPECT_EQ(bat.draw_count(), 1u);
+  EXPECT_EQ(fs.draw_count(), 1u);
+
+  // Recovery fires wake listeners so parked gates re-arm.
+  bool woke = false;
+  fs.on_wake([&] { woke = true; });
+  fs.begin_fault(0.0);
+  fs.end_fault(0.0);
+  EXPECT_TRUE(woke);
+}
+
+TEST(FaultSmoke, EnvVarForcesTheWrapperUnderEveryBuild) {
+  ASSERT_EQ(setenv("EMC_FAULT_SMOKE", "1", 1), 0);
+  {
+    auto ex = exp::ContextConfig::battery(1.0).build();
+    ASSERT_NE(ex.fault_supply(), nullptr);
+    // The forced wrapper IS the load rail the context hands to gates.
+    EXPECT_EQ(static_cast<supply::Supply*>(ex.fault_supply()), &ex.supply());
+  }
+  ASSERT_EQ(unsetenv("EMC_FAULT_SMOKE"), 0);
+  {
+    auto ex = exp::ContextConfig::battery(1.0).build();
+    EXPECT_EQ(ex.fault_supply(), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace emc::fault

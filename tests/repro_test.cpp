@@ -19,6 +19,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -65,6 +66,12 @@ int run_missing_ref(const RunContext&) {
   return write_file("zz_missing_ref.csv", "a,b\n1,2\n") ? 0 : 1;
 }
 
+// Deliberately throwing: graceful degradation must catch it, mark the
+// figure run_failed and keep the rest of the batch running.
+int run_throwing(const RunContext&) {
+  throw std::runtime_error("synthetic figure body failure");
+}
+
 // Deliberately thread-dependent: the cross-check must catch this.
 int run_thread_dep(const RunContext& ctx) {
   std::ostringstream csv;
@@ -100,6 +107,11 @@ REPRO_FIGURE(zz_repro_thread_dep)
     .title("synthetic: output depends on the sweep thread count")
     .ref_csv("zz_thread_dep.csv")
     .run(run_thread_dep);
+
+REPRO_FIGURE(zz_repro_throws)
+    .title("synthetic: body throws — must not kill the batch")
+    .ref_csv("zz_throws.csv")
+    .run(run_throwing);
 
 REPRO_FIGURE(zz_repro_jobs_0).title("synthetic").ref_csv("zz_jobs_0.csv").run(
     run_jobs_fig<0>);
@@ -439,6 +451,20 @@ TEST_F(ReproDriverTest, ThreadsCrossCheckCatchesThreadDependentOutput) {
   EXPECT_EQ(emc::repro::driver_run({"run", "zz_repro_selftest_a",
                                     "--threads-cross-check", "1,4"}),
             0);
+}
+
+TEST_F(ReproDriverTest, ThrowingFigureDoesNotKillTheBatch) {
+  // The thrower runs first; graceful degradation must convert the
+  // exception into a run_failed status and still run selftest_a.
+  EXPECT_EQ(emc::repro::driver_run({"run", "zz_repro_throws",
+                                    "zz_repro_selftest_a", "--manifest",
+                                    "m.json"}),
+            1);
+  EXPECT_FALSE(read_file("zz_selftest_a.csv").empty());
+  const std::string m = read_file("m.json");
+  EXPECT_TRUE(JsonChecker(m).valid()) << m;
+  EXPECT_NE(m.find("\"status\": \"run_failed\""), std::string::npos);
+  EXPECT_NE(m.find("\"status\": \"ok\""), std::string::npos);
 }
 
 TEST_F(ReproDriverTest, MissingDeclaredArtifactFails) {

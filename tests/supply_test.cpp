@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "supply/ac_supply.hpp"
 #include "supply/battery.hpp"
@@ -290,6 +291,94 @@ TEST(VoltageEpoch, DcdcChainsToItsInputStore) {
   const std::uint64_t e0 = dcdc.voltage_epoch();
   store.draw(1e-9, 1e-9);  // input-side change must reach load caches
   EXPECT_GT(dcdc.voltage_epoch(), e0);
+}
+
+// --- defensive invariants (fault-injection hardening) ------------------
+//
+// A NaN-poisoned model or a faulted upstream must not corrupt a store:
+// invalid draws/deposits are rejected and counted, never propagated.
+
+TEST(DrawGuard, RejectsNaNInfAndNegativeDraws) {
+  sim::Kernel k;
+  StorageCap cap(k, "store", 1e-9, 1.0);
+  const double q0 = cap.charge();
+
+  cap.draw(std::nan(""), 1e-12);
+  cap.draw(1e-12, std::nan(""));
+  cap.draw(std::numeric_limits<double>::infinity(), 1e-12);
+  cap.draw(-1e-12, 1e-12);
+  cap.draw(1e-12, -1e-12);
+  EXPECT_DOUBLE_EQ(cap.charge(), q0);  // store untouched
+  EXPECT_EQ(cap.draw_count(), 0u);
+  EXPECT_EQ(cap.rejected_draws(), 5u);
+
+  cap.draw(1e-12, 1e-12);  // a valid draw still works
+  EXPECT_LT(cap.charge(), q0);
+  EXPECT_EQ(cap.draw_count(), 1u);
+  EXPECT_EQ(cap.rejected_draws(), 5u);
+}
+
+TEST(DrawGuard, DcdcRejectsInvalidDraws) {
+  sim::Kernel k;
+  StorageCap store(k, "store", 1e-6, 1.0);
+  DcdcConverter dcdc(k, "dcdc", store, DcdcParams{});
+  const double q0 = store.charge();
+  dcdc.draw(std::nan(""), std::nan(""));
+  EXPECT_DOUBLE_EQ(store.charge(), q0);
+  EXPECT_EQ(dcdc.rejected_draws(), 1u);
+}
+
+TEST(DepositGuard, StorageCapIgnoresNonFiniteDeposits) {
+  sim::Kernel k;
+  StorageCap cap(k, "store", 1e-9, 0.5);
+  const double q0 = cap.charge();
+  // Regression: std::max(0.0, q + NaN) evaluates to 0.0, so an
+  // unguarded NaN deposit silently ZEROED the store instead of
+  // poisoning it — the guard must reject it outright.
+  cap.deposit_charge(std::nan(""));
+  EXPECT_DOUBLE_EQ(cap.charge(), q0);
+  cap.deposit_energy(std::nan(""));
+  cap.deposit_energy(std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(cap.charge(), q0);
+  EXPECT_DOUBLE_EQ(cap.voltage(), 0.5);
+}
+
+TEST(DepositGuard, BatterySetVoltageClampsAndRejectsNonFinite) {
+  sim::Kernel k;
+  Battery b(k, "bat", 1.0);
+  b.set_voltage(std::nan(""));
+  EXPECT_DOUBLE_EQ(b.voltage(), 1.0);  // rejected, not poisoned
+  b.set_voltage(std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(b.voltage(), 1.0);
+  b.set_voltage(-0.3);
+  EXPECT_DOUBLE_EQ(b.voltage(), 0.0);  // clamped at zero
+  b.set_voltage(0.7);
+  EXPECT_DOUBLE_EQ(b.voltage(), 0.7);
+}
+
+TEST(HarvesterBlackout, GatesPowerWithoutDisturbingTheStream) {
+  sim::Kernel k;
+  sim::Rng rng(1);
+  StorageCap cap(k, "store", 10e-6, 0.0);
+  Harvester h(k, HarvesterProfile::steady(100e-6), cap, rng, sim::us(10));
+  h.start();
+  k.schedule(sim::ms(2), [&] { h.begin_blackout(); });
+  k.schedule(sim::ms(2), [&] { h.begin_blackout(); });  // nests
+  k.schedule(sim::ms(4), [&] { h.end_blackout(); });
+  k.schedule(sim::ms(6), [&] { h.end_blackout(); });  // now clear
+  k.run_until(sim::ms(10));
+  // 100 uW for 10 ms minus the 4 ms blacked out = ~0.6 uJ.
+  EXPECT_NEAR(h.total_energy_harvested(), 0.6e-6, 2e-8);
+  EXPECT_FALSE(h.blacked_out());
+  // Mid-blackout the instantaneous output reads zero.
+  sim::Kernel k2;
+  sim::Rng rng2(1);
+  StorageCap cap2(k2, "store", 10e-6, 0.0);
+  Harvester h2(k2, HarvesterProfile::steady(100e-6), cap2, rng2, sim::us(10));
+  h2.begin_blackout();
+  EXPECT_DOUBLE_EQ(h2.instantaneous_power(), 0.0);
+  h2.end_blackout();
+  EXPECT_GT(h2.instantaneous_power(), 0.0);
 }
 
 }  // namespace
