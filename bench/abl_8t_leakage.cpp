@@ -6,8 +6,10 @@
 #include <cstdio>
 
 #include "exp/workbench.hpp"
+#include "lint/session.hpp"
 #include "repro/registry.hpp"
 #include "sram/failure.hpp"
+#include "sram/si_controller.hpp"
 
 static int run_abl_8t(const emc::repro::RunContext& ctx) {
   using namespace emc;
@@ -45,7 +47,14 @@ static int run_abl_8t(const emc::repro::RunContext& ctx) {
   return 0;
 }
 
+static void lint_abl_8t(emc::lint::Session& s) {
+  // The cell choice changes leakage numbers, not the macro's structure.
+  emc::sram::SiSram sram(s.ctx(), "sram", emc::sram::SiSramParams{});
+  s.check(sram.circuit());
+}
+
 REPRO_FIGURE(abl_8t_leakage)
     .title("Ablation §III.A — 6T vs 8T cell bit-line leakage across Vdd")
     .ref_csv("abl_8t_leakage.csv")
+    .lint(lint_abl_8t)
     .run(run_abl_8t);

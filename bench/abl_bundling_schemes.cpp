@@ -9,8 +9,10 @@
 
 #include "exp/context_config.hpp"
 #include "exp/workbench.hpp"
+#include "lint/session.hpp"
 #include "repro/registry.hpp"
 #include "sram/bundled_sram.hpp"
+#include "sram/si_controller.hpp"
 
 static int run_abl_bundling(const emc::repro::RunContext& ctx) {
   using namespace emc;
@@ -77,7 +79,15 @@ static int run_abl_bundling(const emc::repro::RunContext& ctx) {
   return 0;
 }
 
+static void lint_abl_bundling(emc::lint::Session& s) {
+  // The completion-detection contender is the SI macro; the replica
+  // schemes are analytic timing models with no gate netlist of their own.
+  emc::sram::SiSram sram(s.ctx(), "sram", emc::sram::SiSramParams{});
+  s.check(sram.circuit());
+}
+
 REPRO_FIGURE(abl_bundling_schemes)
     .title("Ablation [8] — replica timing schemes vs completion detection")
     .ref_csv("abl_bundling_schemes.csv")
+    .lint(lint_abl_bundling)
     .run(run_abl_bundling);

@@ -5,8 +5,14 @@
 // segments, say, of 8 bit each." Section sizes form a typed integer grid
 // on the exp::Workbench.
 #include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "exp/workbench.hpp"
+#include "gates/completion.hpp"
+#include "lint/session.hpp"
+#include "netlist/module.hpp"
 #include "repro/registry.hpp"
 #include "sram/failure.hpp"
 
@@ -47,7 +53,28 @@ static int run_abl_sectioning(const emc::repro::RunContext& ctx) {
   return 0;
 }
 
+static void lint_abl_sectioning(emc::lint::Session& s) {
+  // One 8-cell section's detector, elaborated structurally: the
+  // OR-per-bit + C-element tree whose per-section cost the ablation
+  // prices. The dual rails come from the (environment's) bit cells.
+  std::vector<std::unique_ptr<emc::sim::Wire>> rails;
+  std::vector<emc::gates::DualRailWire> bits;
+  for (int i = 0; i < 8; ++i) {
+    rails.push_back(std::make_unique<emc::sim::Wire>(
+        s.kernel(), "sec.b" + std::to_string(i) + ".t", false));
+    rails.push_back(std::make_unique<emc::sim::Wire>(
+        s.kernel(), "sec.b" + std::to_string(i) + ".f", false));
+    bits.push_back({rails[rails.size() - 2].get(), rails.back().get()});
+  }
+  emc::gates::CompletionDetector cd(s.ctx(), "sec.cd", bits);
+  emc::netlist::Circuit c(s.ctx(), "section");
+  for (const auto& w : rails) c.note_external_wire(w->name());
+  cd.describe_into(c);
+  s.check(c);
+}
+
 REPRO_FIGURE(abl_completion_sectioning)
     .title("Ablation §III.A — completion-detection sectioning vs min read Vdd")
     .ref_csv("abl_completion_sectioning.csv")
+    .lint(lint_abl_sectioning)
     .run(run_abl_sectioning);

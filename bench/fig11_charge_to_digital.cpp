@@ -17,6 +17,7 @@
 #include "analysis/table.hpp"
 #include "exp/context_config.hpp"
 #include "exp/workbench.hpp"
+#include "lint/session.hpp"
 #include "repro/registry.hpp"
 #include "sensor/charge_to_digital.hpp"
 
@@ -91,7 +92,16 @@ static int run_fig11(const emc::repro::RunContext& ctx) {
   return 0;
 }
 
+static void lint_fig11(emc::lint::Session& s) {
+  // The converter's oscillator+toggle-chain lives on its own supply
+  // island; structurally it is the counter circuit.
+  emc::sensor::ChargeToDigitalConverter c2d(s.ctx(), "c2d",
+                                            emc::sensor::C2dParams{});
+  s.check(c2d.counter().circuit());
+}
+
 REPRO_FIGURE(fig11_charge_to_digital)
     .title("Fig. 11 — charge-to-digital converter: code vs sampled Vin")
     .ref_csv("fig11_c2d.csv")
+    .lint(lint_fig11)
     .run(run_fig11);

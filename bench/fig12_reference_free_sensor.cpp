@@ -17,9 +17,11 @@
 #include "analysis/table.hpp"
 #include "exp/context_config.hpp"
 #include "exp/workbench.hpp"
+#include "lint/session.hpp"
 #include "repro/registry.hpp"
 #include "sensor/calibration.hpp"
 #include "sensor/reference_free.hpp"
+#include "sensor/ring_oscillator.hpp"
 
 namespace {
 
@@ -123,7 +125,19 @@ static int run_fig12(const emc::repro::RunContext& ctx) {
   return 0;
 }
 
+static void lint_fig12(emc::lint::Session& s) {
+  emc::sensor::ReferenceFreeSensor rf(s.ctx(), "rf",
+                                      emc::sensor::RefFreeParams{});
+  s.check(rf.circuit());
+  // The published baseline the figure argues against — its deliberate
+  // combinational ring carries a C001 suppression at the build site.
+  emc::sensor::RingOscillatorSensor ro(s.ctx(), "ro",
+                                       emc::sensor::RingOscParams{});
+  s.check(ro.circuit());
+}
+
 REPRO_FIGURE(fig12_reference_free_sensor)
     .title("Fig. 12 — reference-free voltage sensor: calibration + accuracy")
     .ref_csv("fig12_refree.csv")
+    .lint(lint_fig12)
     .run(run_fig12);

@@ -17,6 +17,7 @@
 #include "async/pipeline.hpp"
 #include "exp/context_config.hpp"
 #include "exp/workbench.hpp"
+#include "lint/session.hpp"
 #include "repro/registry.hpp"
 
 namespace {
@@ -136,7 +137,13 @@ static int run_fig1(const emc::repro::RunContext& ctx) {
   return 0;
 }
 
+static void lint_fig1(emc::lint::Session& s) {
+  emc::async::MullerRing ring(s.ctx(), "ring", 6, 2);
+  s.check(ring.circuit());
+}
+
 REPRO_FIGURE(fig1_proportionality)
     .title("Fig. 1 — useful ops vs energy quantum: self-timed vs clocked")
     .ref_csv("fig1_proportionality.csv")
+    .lint(lint_fig1)
     .run(run_fig1);

@@ -18,6 +18,7 @@
 #include "async/counter.hpp"
 #include "exp/context_config.hpp"
 #include "exp/workbench.hpp"
+#include "lint/session.hpp"
 #include "power/qos.hpp"
 #include "repro/registry.hpp"
 
@@ -144,7 +145,15 @@ static int run_fig2(const emc::repro::RunContext& ctx) {
   return 0;
 }
 
+static void lint_fig2(emc::lint::Session& s) {
+  emc::async::DualRailCounter drc(s.ctx(), "drc", 2);
+  s.check(drc.circuit());
+  emc::async::BundledCounter bc(s.ctx(), "bc", emc::async::BundledParams{});
+  s.check(bc.circuit());
+}
+
 REPRO_FIGURE(fig2_qos_vs_vdd)
     .title("Fig. 2 — QoS vs Vdd: SI dual-rail vs bundled data vs hybrid")
     .ref_csv("fig2_qos_vs_vdd.csv")
+    .lint(lint_fig2)
     .run(run_fig2);

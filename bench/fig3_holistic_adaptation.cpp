@@ -24,10 +24,12 @@
 #include "device/delay_model.hpp"
 #include "exp/supply_config.hpp"
 #include "exp/workbench.hpp"
+#include "lint/session.hpp"
 #include "power/adaptive_controller.hpp"
 #include "power/power_meter.hpp"
 #include "repro/registry.hpp"
 #include "sched/energy_token.hpp"
+#include "sched/petri.hpp"
 #include "sched/scheduler.hpp"
 #include "sched/task.hpp"
 
@@ -195,7 +197,21 @@ static int run_fig3(const emc::repro::RunContext& ctx) {
   return 0;
 }
 
+static void lint_fig3(emc::lint::Session& s) {
+  // The figure's components are analytic (scheduler + power chain); the
+  // structure behind the energy-token policy is the task-lifecycle loop:
+  // concurrency slots cycle idle -> running -> idle, and the cycle must
+  // carry tokens (the admission budget) to stay live.
+  emc::sched::EnergyPetriNet net(s.kernel());
+  const auto idle = net.add_place("idle", 4);
+  const auto running = net.add_place("running", 0);
+  net.add_transition("admit", {idle}, {running}, 1, emc::sim::us(10));
+  net.add_transition("complete", {running}, {idle}, 0, emc::sim::us(10));
+  s.check(net, "fig3.task_cycle");
+}
+
 REPRO_FIGURE(fig3_holistic_adaptation)
     .title("Fig. 3 — harvester->MPPT->store->load: fixed vs token vs adaptive")
     .ref_csv("fig3_holistic_adaptation.csv")
+    .lint(lint_fig3)
     .run(run_fig3);

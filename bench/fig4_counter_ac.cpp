@@ -16,6 +16,7 @@
 #include "async/checker.hpp"
 #include "async/counter.hpp"
 #include "exp/context_config.hpp"
+#include "lint/session.hpp"
 #include "repro/registry.hpp"
 #include "sim/trace.hpp"
 
@@ -100,8 +101,16 @@ static int run_fig4(const emc::repro::RunContext& ctx) {
   return 0;
 }
 
+static void lint_fig4(emc::lint::Session& s) {
+  emc::async::DualRailCounter drc(s.ctx(), "drc", 2);
+  s.check(drc.circuit());
+  emc::async::BundledCounter bc(s.ctx(), "bc", emc::async::BundledParams{});
+  s.check(bc.circuit());
+}
+
 REPRO_FIGURE(fig4_counter_ac)
     .title("Fig. 4 — dual-rail counter on 200mV +/- 100mV AC supply")
     .ref_csv("fig4_counter_ac.csv")
     .artifact("fig4_counter_ac.vcd")
+    .lint(lint_fig4)
     .run(run_fig4);

@@ -15,6 +15,7 @@
 
 #include "exp/context_config.hpp"
 #include "exp/workbench.hpp"
+#include "lint/session.hpp"
 #include "repro/registry.hpp"
 #include "sim/trace.hpp"
 #include "sram/si_controller.hpp"
@@ -160,8 +161,14 @@ static int run_fig7(const emc::repro::RunContext& ctx) {
   return 0;
 }
 
+static void lint_fig7(emc::lint::Session& s) {
+  emc::sram::SiSram sram(s.ctx(), "sram", emc::sram::SiSramParams{});
+  s.check(sram.circuit());
+}
+
 REPRO_FIGURE(fig7_sram_varying_vdd)
     .title("Fig. 7 — SI SRAM across Vdd: sweep + mid-ramp handshake demo")
     .ref_csv("fig7_sram_varying_vdd.csv")
     .artifact("fig7_sram_handshakes.vcd")
+    .lint(lint_fig7)
     .run(run_fig7);

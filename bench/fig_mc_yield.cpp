@@ -26,9 +26,11 @@
 #include "device/delay_model.hpp"
 #include "device/variation.hpp"
 #include "exp/workbench.hpp"
+#include "lint/session.hpp"
 #include "repro/registry.hpp"
 #include "sram/bitline.hpp"
 #include "sram/cell.hpp"
+#include "sram/si_controller.hpp"
 
 namespace {
 
@@ -128,10 +130,16 @@ static int run_fig_mc_yield(const emc::repro::RunContext& ctx) {
   return 0;
 }
 
+static void lint_fig_mc_yield(emc::lint::Session& s) {
+  emc::sram::SiSram sram(s.ctx(), "sram", emc::sram::SiSramParams{});
+  s.check(sram.circuit());
+}
+
 REPRO_FIGURE(fig_mc_yield)
     .title("MC yield — SRAM + logic survival vs Vdd over 60 virtual chips")
     .ref_csv("fig_mc_yield.csv")
     .ref_csv("fig_mc_yield_trials.csv")
+    .lint(lint_fig_mc_yield)
     .seed(2026)
     .smoke_mode()
     .run(run_fig_mc_yield);

@@ -34,6 +34,8 @@
 #include "async/handshake.hpp"
 #include "exp/workbench.hpp"
 #include "fault/fault_plan.hpp"
+#include "lint/session.hpp"
+#include "netlist/module.hpp"
 #include "repro/registry.hpp"
 
 namespace {
@@ -214,10 +216,29 @@ static int run_fig_survivability(const emc::repro::RunContext& ctx) {
   return 0;
 }
 
+static void lint_fig_survivability(emc::lint::Session& s) {
+  // QoS circuit.
+  emc::async::ToggleRippleCounter ctr(s.ctx(), "osc", kOscStages);
+  s.check(ctr.circuit());
+  // Protocol circuit: the closed 4-phase source/sink pair. With both
+  // ends registered the handshake loop is marked, so H001 and D001 must
+  // prove it live (the deliberately-broken variant lives in lint_test).
+  emc::sim::Wire req(s.kernel(), "req", false);
+  emc::sim::Wire ack(s.kernel(), "ack", false);
+  emc::async::Channel ch{&req, &ack};
+  emc::async::HandshakeSource src(s.ctx(), "src", ch);
+  emc::async::HandshakeSink sink(s.ctx(), "sink", ch, 2.0);
+  emc::netlist::Circuit proto(s.ctx(), "proto");
+  src.register_in(proto);
+  sink.register_in(proto);
+  s.check(proto);
+}
+
 REPRO_FIGURE(fig_survivability)
     .title("Survivability — QoS + completion under brownout/fault streams")
     .ref_csv("fig_survivability.csv")
     .ref_csv("fig_survivability_trials.csv")
     .seed(4242)
     .smoke_mode()
+    .lint(lint_fig_survivability)
     .run(run_fig_survivability);

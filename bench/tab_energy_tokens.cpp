@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "exp/workbench.hpp"
+#include "lint/session.hpp"
 #include "repro/registry.hpp"
 #include "sched/petri.hpp"
 #include "sim/random.hpp"
@@ -64,7 +65,23 @@ static int run_tab_energy_tokens(const emc::repro::RunContext& ctx) {
   return 0;
 }
 
+static void lint_tab_energy_tokens(emc::lint::Session& s) {
+  // Same fork/join task graph the figure executes — a DAG, so D001's
+  // token-free-cycle search must come back empty.
+  emc::sched::EnergyPetriNet net(s.kernel());
+  const auto in = net.add_place("in", 1000);
+  const auto stage1 = net.add_place("s1", 0);
+  const auto a = net.add_place("a", 0);
+  const auto b = net.add_place("b", 0);
+  const auto done = net.add_place("done", 0);
+  net.add_transition("fetch", {in}, {stage1}, 1, emc::sim::us(20));
+  net.add_transition("fork", {stage1}, {a, b}, 1, emc::sim::us(10));
+  net.add_transition("join", {a, b}, {done}, 3, emc::sim::us(30));
+  s.check(net, "energy_tokens.fork_join");
+}
+
 REPRO_FIGURE(tab_energy_tokens)
     .title("Table [15] — energy-token Petri net: throughput vs arrival rate")
     .ref_csv("tab_energy_tokens.csv")
+    .lint(lint_tab_energy_tokens)
     .run(run_tab_energy_tokens);

@@ -15,8 +15,10 @@
 #include "analysis/aggregate.hpp"
 #include "device/variation.hpp"
 #include "exp/workbench.hpp"
+#include "lint/session.hpp"
 #include "repro/registry.hpp"
 #include "sram/failure.hpp"
+#include "sram/si_controller.hpp"
 
 namespace {
 constexpr std::size_t kTrials = 24;
@@ -112,10 +114,18 @@ static int run_tab_sram_corners(const emc::repro::RunContext& ctx) {
   return 0;
 }
 
+static void lint_tab_sram_corners(emc::lint::Session& s) {
+  // Corners change the tech parameters, not the controller structure —
+  // one macro covers every corner.
+  emc::sram::SiSram sram(s.ctx(), "sram", emc::sram::SiSramParams{});
+  s.check(sram.circuit());
+}
+
 REPRO_FIGURE(tab_sram_corners)
     .title("Table [8] — SRAM corner + mismatch distributions (Monte-Carlo)")
     .ref_csv("tab_sram_corners.csv")
     .ref_csv("tab_sram_corners_trials.csv")
     .seed(8)
     .smoke_mode()
+    .lint(lint_tab_sram_corners)
     .run(run_tab_sram_corners);

@@ -12,7 +12,9 @@
 #include <cstdio>
 
 #include "exp/workbench.hpp"
+#include "lint/session.hpp"
 #include "repro/registry.hpp"
+#include "sched/petri.hpp"
 #include "sched/stochastic.hpp"
 #include "sim/random.hpp"
 
@@ -59,7 +61,20 @@ static int run_tab_stochastic(const emc::repro::RunContext& ctx) {
   return 0;
 }
 
+static void lint_tab_stochastic(emc::lint::Session& s) {
+  // The CTMC's structural skeleton: K server tokens cycling free <->
+  // busy. The cycle is marked (the servers ARE the tokens), so D001
+  // must prove it live.
+  emc::sched::EnergyPetriNet net(s.kernel());
+  const auto free_slots = net.add_place("free", 3);
+  const auto busy = net.add_place("busy", 0);
+  net.add_transition("admit", {free_slots}, {busy}, 1, emc::sim::us(1));
+  net.add_transition("complete", {busy}, {free_slots}, 0, emc::sim::us(1));
+  s.check(net, "ctmc.k_server");
+}
+
 REPRO_FIGURE(tab_stochastic_concurrency)
     .title("Table [12] — CTMC power/latency vs degree of concurrency")
     .ref_csv("tab_stochastic_concurrency.csv")
+    .lint(lint_tab_stochastic)
     .run(run_tab_stochastic);

@@ -35,8 +35,16 @@ BundledCounter::BundledCounter(gates::Context& ctx, std::string name,
       }
       return (((s + 1) >> i) & 1u) != 0;
     };
+    // Distinct from the output wire's name ("<circuit>.d<i>") — the
+    // connectivity inventory is name-keyed, and a gate/wire collision
+    // would read as a combinational self-loop.
+    const std::string gname = circuit_.name() + ".inc" + std::to_string(i);
+    for (const sim::Wire* s : state_wires_) {
+      circuit_.note_edge(s->name(), gname);
+    }
+    circuit_.note_edge(gname, d.name());
     auto& g = circuit_.emplace<gates::FunctionGate>(
-        ctx, circuit_.name() + ".d" + std::to_string(i), inc_bit,
+        ctx, gname, inc_bit,
         std::vector<sim::Wire*>(state_wires_.begin(), state_wires_.end()), d,
         depth_of_bit(i), kDatapathCap, params_.datapath_vth_offset);
     dp.push_back(&g);
@@ -56,6 +64,17 @@ BundledCounter::BundledCounter(gates::Context& ctx, std::string name,
       std::ceil(params_.margin * worst_dp_s / inv_s));
   line_ = std::make_unique<gates::DelayLine>(
       ctx, circuit_.name() + ".line", *go_, std::max<std::size_t>(stages, 2));
+  line_->describe_into(circuit_);
+
+  // The capture latch is behavioural (on_line_output) but structurally it
+  // is clocked by the delay-line output, samples the datapath, drives the
+  // state register, and relaunches go — close the loop in the inventory.
+  const std::string latch = circuit_.name() + ".latch";
+  circuit_.note_element(latch, netlist::ElementKind::kEndpoint);
+  circuit_.note_edge(line_->output().name(), latch);
+  for (const sim::Wire* d : data_wires_) circuit_.note_edge(d->name(), latch);
+  for (const sim::Wire* s : state_wires_) circuit_.note_edge(latch, s->name());
+  circuit_.note_edge(latch, go_->name());
 
   if (ctx.meter != nullptr) {
     latch_meter_ = ctx.meter->add(circuit_.name() + ".latch",

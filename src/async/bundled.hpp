@@ -57,6 +57,9 @@ class BundledCounter {
   /// Current latched state.
   std::uint64_t state() const { return state_; }
 
+  /// Connectivity inventory (DOT export, static lint).
+  const netlist::Circuit& circuit() const { return circuit_; }
+
  private:
   void launch();
   void on_line_output();

@@ -15,6 +15,7 @@ ToggleRippleCounter::ToggleRippleCounter(gates::Context& ctx,
   assert(stages >= 1);
   if (external_input != nullptr) {
     input_ = external_input;
+    circuit_.note_external_wire(external_input->name());
   } else {
     // Oscillator mode: osc = NAND(enable, osc). With enable high the gate
     // inverts its own output and free-runs at its (Vdd-dependent) delay;
@@ -23,6 +24,10 @@ ToggleRippleCounter::ToggleRippleCounter(gates::Context& ctx,
     sim::Wire& osc = circuit_.wire("osc", true);
     circuit_.comb("nand_osc", gates::Op::kNand,
                   std::vector<sim::Wire*>{enable_, &osc}, osc);
+    circuit_.mark_env_driven(*enable_);
+    circuit_.suppress("C001", circuit_.name() + ".nand_osc",
+                      "relaxation oscillator: the NAND's self-loop IS the "
+                      "clock source, gated by enable");
     input_ = &osc;
   }
   sim::Wire* stage_in = input_;
@@ -109,12 +114,18 @@ DualRailCounter::DualRailCounter(gates::Context& ctx, std::string name,
     // The increment function of bit i spans an i-deep carry chain; charge
     // delay accordingly (dual-rail AND-OR trees, ~1 stage per carry).
     const double depth = 2.0 + static_cast<double>(i);
-    circuit_.emplace<gates::FunctionGate>(
-        ctx, circuit_.name() + ".dt" + std::to_string(i), inc_bit, ins, t,
-        depth, 2.5);
-    circuit_.emplace<gates::FunctionGate>(
-        ctx, circuit_.name() + ".df" + std::to_string(i), inc_bit_n,
-        std::move(ins), f, depth, 2.5);
+    const std::string tname = circuit_.name() + ".dt" + std::to_string(i);
+    const std::string fname = circuit_.name() + ".df" + std::to_string(i);
+    for (const sim::Wire* in : ins) {
+      circuit_.note_edge(in->name(), tname);
+      circuit_.note_edge(in->name(), fname);
+    }
+    circuit_.note_edge(tname, t.name());
+    circuit_.note_edge(fname, f.name());
+    circuit_.emplace<gates::FunctionGate>(ctx, tname, inc_bit, ins, t, depth,
+                                          2.5);
+    circuit_.emplace<gates::FunctionGate>(ctx, fname, inc_bit_n,
+                                          std::move(ins), f, depth, 2.5);
     rail_bits.push_back(gates::DualRailWire{&t, &f});
   }
   word_ = std::make_unique<DualRailWord>(rail_bits);
@@ -122,7 +133,18 @@ DualRailCounter::DualRailCounter(gates::Context& ctx, std::string name,
   // Genuine completion detection over the rails.
   cd_ = std::make_unique<gates::CompletionDetector>(
       ctx, circuit_.name() + ".cd", rail_bits);
+  cd_->describe_into(circuit_);
   done_wire_ = &cd_->done();
+
+  // The state-commit latch rank is behavioural (on_done_change), but its
+  // connectivity is real: done clocks it, it drives the state wires.
+  const std::string latch = circuit_.name() + ".latch";
+  circuit_.note_element(latch, netlist::ElementKind::kEndpoint);
+  circuit_.note_edge(done_wire_->name(), latch);
+  for (const sim::Wire* s : state_wires_) {
+    circuit_.note_edge(latch, s->name());
+  }
+  circuit_.mark_env_driven(*run_);
 
   // Close the ring: en = INV(done).
   circuit_.comb("inv_done", gates::Op::kInv,

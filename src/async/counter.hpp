@@ -67,6 +67,9 @@ class ToggleRippleCounter {
   gates::Toggle& stage(std::size_t i) { return *toggles_[i]; }
   sim::Wire& input() { return *input_; }
 
+  /// Connectivity inventory (DOT export, static lint).
+  const netlist::Circuit& circuit() const { return circuit_; }
+
  private:
   netlist::Circuit circuit_;
   sim::Wire* input_ = nullptr;
@@ -98,6 +101,9 @@ class DualRailCounter {
 
   sim::Wire& done() { return *done_wire_; }
   DualRailWord& rails() { return *word_; }
+
+  /// Connectivity inventory (DOT export, static lint).
+  const netlist::Circuit& circuit() const { return circuit_; }
 
  private:
   void on_done_change();

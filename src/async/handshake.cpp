@@ -1,5 +1,6 @@
 #include "async/handshake.hpp"
 
+#include "netlist/module.hpp"
 #include "sim/time.hpp"
 
 namespace emc::async {
@@ -8,6 +9,15 @@ HandshakeSource::HandshakeSource(gates::Context& ctx, std::string name,
                                  Channel ch)
     : ctx_(&ctx), name_(std::move(name)), ch_(ch) {
   ch_.ack->subscribe<&HandshakeSource::on_ack>(this);
+}
+
+void HandshakeSource::register_in(netlist::Circuit& c) const {
+  c.note_element(name_, netlist::ElementKind::kEndpoint);
+  c.note_external_wire(ch_.req->name());
+  c.note_external_wire(ch_.ack->name());
+  c.note_edge(name_, ch_.req->name());
+  c.note_edge(ch_.ack->name(), name_);
+  c.note_handshake(ch_.req->name(), ch_.ack->name());
 }
 
 void HandshakeSource::start(std::uint64_t cycles,
@@ -43,8 +53,8 @@ void HandshakeSource::on_ack() {
 
 HandshakeSink::HandshakeSink(gates::Context& ctx, std::string name,
                              Channel ch, double delay_stages)
-    : ctx_(&ctx), ch_(ch), delay_stages_(delay_stages) {
-  (void)name;
+    : ctx_(&ctx), name_(std::move(name)), ch_(ch),
+      delay_stages_(delay_stages) {
   ch_.req->subscribe<&HandshakeSink::on_req>(this);
   // Brownout recovery for wake-driven supplies: replay the req level the
   // brownout parked (registered once, for the sink's lifetime — a no-op
@@ -52,6 +62,15 @@ HandshakeSink::HandshakeSink(gates::Context& ctx, std::string name,
   ctx_->supply.on_wake([this] {
     if (!stalled_ && edge_pending()) on_req();
   });
+}
+
+void HandshakeSink::register_in(netlist::Circuit& c) const {
+  c.note_element(name_, netlist::ElementKind::kEndpoint);
+  c.note_external_wire(ch_.req->name());
+  c.note_external_wire(ch_.ack->name());
+  c.note_edge(ch_.req->name(), name_);
+  c.note_edge(name_, ch_.ack->name());
+  c.note_handshake(ch_.req->name(), ch_.ack->name());
 }
 
 void HandshakeSink::resume() {

@@ -14,6 +14,10 @@
 #include "gates/gate.hpp"
 #include "sim/signal.hpp"
 
+namespace emc::netlist {
+class Circuit;
+}
+
 namespace emc::async {
 
 /// A req/ack wire pair (owned elsewhere, usually by a Circuit).
@@ -43,6 +47,14 @@ class HandshakeSource {
   ///   kernel.add_probe([&] { return src.mid_protocol()
   ///       ? sim::ProbeState::kBusy : sim::ProbeState::kIdle; });
   bool mid_protocol() const { return remaining_ > 0; }
+
+  /// Record this endpoint in `c`'s connectivity inventory: an endpoint
+  /// element driving req and reading ack, plus the handshake channel
+  /// itself (lint rules H001/D001 consume the channel list). A source
+  /// registered without a matching responder shows up statically as a
+  /// token-free handshake cycle — the same defect run_guarded() reports
+  /// as `deadlocked` dynamically.
+  void register_in(netlist::Circuit& c) const;
 
  private:
   void on_ack();
@@ -79,12 +91,18 @@ class HandshakeSink {
   void resume();
   bool stalled() const { return stalled_; }
 
+  /// Record this endpoint in `c`'s connectivity inventory: an endpoint
+  /// element reading req and driving ack, completing the channel a
+  /// HandshakeSource registered (or noting it afresh).
+  void register_in(netlist::Circuit& c) const;
+
  private:
   void on_req();
   /// True when the ack has yet to mirror the current req level.
   bool edge_pending() const { return ch_.req->read() != ch_.ack->read(); }
 
   gates::Context* ctx_;
+  std::string name_;
   Channel ch_;
   double delay_stages_;
   bool stalled_ = false;

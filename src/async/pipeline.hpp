@@ -41,6 +41,9 @@ class MullerRing {
 
   sim::Wire& stage_wire(std::size_t i) { return *stage_wires_[i]; }
 
+  /// Connectivity inventory (DOT export, static lint).
+  const netlist::Circuit& circuit() const { return circuit_; }
+
  private:
   netlist::Circuit circuit_;
   std::size_t tokens_;

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "netlist/module.hpp"
+
 namespace emc::gates {
 
 CompletionDetector::CompletionDetector(Context& ctx, std::string name,
@@ -15,9 +17,14 @@ CompletionDetector::CompletionDetector(Context& ctx, std::string name,
     wires_.push_back(std::make_unique<sim::Wire>(
         ctx.kernel, name + ".v" + std::to_string(i), false));
     sim::Wire& v = *wires_.back();
+    const std::string gname = name + ".or" + std::to_string(i);
     gates_.push_back(std::make_unique<CombGate>(
-        ctx, name + ".or" + std::to_string(i), Op::kOr,
-        std::vector<sim::Wire*>{bits[i].t, bits[i].f}, v));
+        ctx, gname, Op::kOr, std::vector<sim::Wire*>{bits[i].t, bits[i].f},
+        v));
+    described_elems_.emplace_back(gname, false);
+    described_edges_.emplace_back(bits[i].t->name(), gname);
+    described_edges_.emplace_back(bits[i].f->name(), gname);
+    described_edges_.emplace_back(gname, v.name());
     valids_.push_back(&v);
   }
 
@@ -40,10 +47,15 @@ CompletionDetector::CompletionDetector(Context& ctx, std::string name,
           name + ".c" + std::to_string(level) + "_" + std::to_string(i),
           false));
       sim::Wire& out = *wires_.back();
-      gates_.push_back(std::make_unique<CElement>(
-          ctx,
-          name + ".ce" + std::to_string(level) + "_" + std::to_string(i),
-          std::move(group), out));
+      const std::string gname =
+          name + ".ce" + std::to_string(level) + "_" + std::to_string(i);
+      described_elems_.emplace_back(gname, true);
+      for (const sim::Wire* g : group) {
+        described_edges_.emplace_back(g->name(), gname);
+      }
+      described_edges_.emplace_back(gname, out.name());
+      gates_.push_back(
+          std::make_unique<CElement>(ctx, gname, std::move(group), out));
       next.push_back(&out);
     }
     layer = std::move(next);
@@ -51,6 +63,15 @@ CompletionDetector::CompletionDetector(Context& ctx, std::string name,
   }
   done_ = layer.front();
   depth_ = level;
+}
+
+void CompletionDetector::describe_into(netlist::Circuit& c) const {
+  for (const auto& w : wires_) c.note_external_wire(w->name());
+  for (const auto& [name, is_ce] : described_elems_) {
+    c.note_element(name, is_ce ? netlist::ElementKind::kCElement
+                               : netlist::ElementKind::kComb);
+  }
+  for (const auto& [from, to] : described_edges_) c.note_edge(from, to);
 }
 
 }  // namespace emc::gates

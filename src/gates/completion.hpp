@@ -10,11 +10,16 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "gates/celement.hpp"
 #include "gates/combinational.hpp"
 #include "gates/gate.hpp"
+
+namespace emc::netlist {
+class Circuit;
+}
 
 namespace emc::gates {
 
@@ -36,12 +41,22 @@ class CompletionDetector {
   std::size_t bit_count() const { return valids_.size(); }
   std::size_t tree_depth() const { return depth_; }
 
+  /// Record the detector's internal structure (per-bit OR gates, the
+  /// C-element reduction tree, internal wires, edges) into `c`'s
+  /// connectivity inventory so DOT export and the static linter see the
+  /// completion-detection path instead of a blank spot.
+  void describe_into(netlist::Circuit& c) const;
+
  private:
   std::vector<std::unique_ptr<sim::Wire>> wires_;
   std::vector<std::unique_ptr<Gate>> gates_;
   std::vector<sim::Wire*> valids_;
   sim::Wire* done_ = nullptr;
   std::size_t depth_ = 0;
+  /// Structure captured at build time for describe_into: edges as name
+  /// pairs, elements as (name, is_c_element).
+  std::vector<std::pair<std::string, std::string>> described_edges_;
+  std::vector<std::pair<std::string, bool>> described_elems_;
 };
 
 }  // namespace emc::gates

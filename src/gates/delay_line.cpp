@@ -1,5 +1,7 @@
 #include "gates/delay_line.hpp"
 
+#include "netlist/module.hpp"
+
 namespace emc::gates {
 
 DelayLine::DelayLine(Context& ctx, std::string name, sim::Wire& input,
@@ -15,7 +17,8 @@ DelayLine::DelayLine(Context& ctx, std::string name, sim::Wire& input,
 
 DelayLine::DelayLine(Context& ctx, std::string name, sim::Wire& input,
                      std::size_t stages, double vth_offset, double vth_sigma,
-                     sim::Rng* rng) {
+                     sim::Rng* rng)
+    : input_name_(input.name()) {
   taps_.reserve(stages);
   gates_.reserve(stages);
   sim::Wire* prev = &input;
@@ -47,6 +50,18 @@ std::size_t DelayLine::thermometer_code() const {
   std::size_t k = 0;
   while (k < taps_.size() && taps_[k]->read() != baseline_[k]) ++k;
   return k;
+}
+
+void DelayLine::describe_into(netlist::Circuit& c) const {
+  const sim::Wire* prev = nullptr;
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const CombGate& g = *gates_[i];
+    c.note_element(g.name(), netlist::ElementKind::kComb);
+    c.note_external_wire(taps_[i]->name());
+    c.note_edge(prev == nullptr ? input_name_ : prev->name(), g.name());
+    c.note_edge(g.name(), taps_[i]->name());
+    prev = taps_[i].get();
+  }
 }
 
 std::size_t DelayLine::flipped_taps() const {

@@ -17,6 +17,10 @@
 #include "gates/gate.hpp"
 #include "sim/random.hpp"
 
+namespace emc::netlist {
+class Circuit;
+}
+
 namespace emc::gates {
 
 class DelayLine {
@@ -51,11 +55,17 @@ class DelayLine {
   /// code when the wavefront is clean).
   std::size_t flipped_taps() const;
 
+  /// Record this chain's structure (stage gates, tap wires, edges) into
+  /// `c`'s connectivity inventory so DOT export and the static linter
+  /// see through the composite instead of a blank spot.
+  void describe_into(netlist::Circuit& c) const;
+
  private:
   DelayLine(Context& ctx, std::string name, sim::Wire& input,
             std::size_t stages, double vth_offset, double vth_sigma,
             sim::Rng* rng);
 
+  std::string input_name_;
   std::vector<std::unique_ptr<sim::Wire>> taps_;
   std::vector<std::unique_ptr<CombGate>> gates_;
   std::vector<bool> baseline_;

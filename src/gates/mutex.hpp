@@ -26,6 +26,8 @@ class Mutex {
   Mutex(Context& ctx, std::string name, sim::Wire& r1, sim::Wire& r2,
         sim::Wire& g1, sim::Wire& g2, sim::Rng* rng = nullptr);
 
+  const std::string& name() const { return name_; }
+
   std::uint64_t grants() const { return grants_; }
   std::uint64_t metastable_events() const { return metastable_; }
 

@@ -1,0 +1,530 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "netlist/module.hpp"
+#include "sched/petri.hpp"
+#include "sim/kernel.hpp"
+
+namespace emc::lint {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Graph model distilled from a Circuit's inventory.
+//
+// Nodes are names; the inventory tells us which are wires (with origin
+// flags) and which are elements (with kinds). Names that appear only in
+// edges are classified conservatively: adjacent to a known element they
+// are foreign wires (exempt from driver rules), adjacent to a known wire
+// they are elements of unknown kind (state-holding, so they break C001
+// cycles rather than create false positives).
+// ---------------------------------------------------------------------------
+struct Graph {
+  std::map<std::string, netlist::WireInfo> wires;
+  std::map<std::string, netlist::ElementKind> elements;
+  /// Deduplicated edges, and per-name adjacency for path searches.
+  std::set<std::pair<std::string, std::string>> edges;
+  std::map<std::string, std::set<std::string>> adj;
+  std::map<std::string, std::set<std::string>> radj;
+  /// Element drivers/readers per wire.
+  std::map<std::string, std::set<std::string>> drivers;
+  std::map<std::string, std::set<std::string>> readers;
+  /// Names with at least one incident edge.
+  std::set<std::string> touched;
+
+  bool is_element(const std::string& n) const { return elements.count(n) > 0; }
+
+  bool driven(const std::string& wire) const {
+    auto w = wires.find(wire);
+    if (w != wires.end() && w->second.env_driven) return true;
+    auto d = drivers.find(wire);
+    return d != drivers.end() && !d->second.empty();
+  }
+};
+
+Graph build_graph(const netlist::Circuit& c) {
+  Graph g;
+  for (const auto& w : c.wire_infos()) g.wires.emplace(w.name, w);
+  for (const auto& e : c.elements()) g.elements.emplace(e.name, e.kind);
+
+  // Classify names seen only in edges. Two passes so an unknown name
+  // adjacent to a known element in *any* edge lands as a wire.
+  for (const auto& [from, to] : c.edges()) {
+    for (const std::string* n : {&from, &to}) {
+      if (g.wires.count(*n) > 0 || g.elements.count(*n) > 0) continue;
+      const std::string& other = (n == &from) ? to : from;
+      if (g.is_element(other)) {
+        g.wires.emplace(*n, netlist::WireInfo{*n, false, false, true});
+      } else {
+        g.elements.emplace(*n, netlist::ElementKind::kOther);
+      }
+    }
+  }
+
+  for (const auto& [from, to] : c.edges()) {
+    if (!g.edges.emplace(from, to).second) continue;
+    g.adj[from].insert(to);
+    g.radj[to].insert(from);
+    g.touched.insert(from);
+    g.touched.insert(to);
+    const bool fe = g.is_element(from);
+    const bool te = g.is_element(to);
+    if (fe && !te) g.drivers[to].insert(from);
+    if (!fe && te) g.readers[from].insert(to);
+  }
+  return g;
+}
+
+std::string join(const std::vector<std::string>& v, const char* sep) {
+  std::string out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += sep;
+    out += v[i];
+  }
+  return out;
+}
+
+// --- W001/W002: wire driver rules ------------------------------------------
+void rule_wires(const Graph& g, Report& r) {
+  for (const auto& [name, info] : g.wires) {
+    const auto d = g.drivers.find(name);
+    const std::size_t ndrv = (d == g.drivers.end()) ? 0 : d->second.size();
+    if (info.owned && !info.env_driven && ndrv == 0 &&
+        g.radj.count(name) == 0) {
+      // No element drives it and no edge even enters it from a peer wire.
+      const auto rd = g.readers.find(name);
+      const std::size_t nrd = (rd == g.readers.end()) ? 0 : rd->second.size();
+      std::ostringstream os;
+      os << "wire has no recorded driver and is not environment-driven ("
+         << (nrd == 0 ? "completely unconnected"
+                      : "read by " + std::to_string(nrd) + " element(s)")
+         << ")";
+      r.add(Finding{"W001", Severity::kError, name, os.str(), {}, {}});
+    }
+    if (ndrv >= 2) {
+      std::vector<std::string> who(d->second.begin(), d->second.end());
+      r.add(Finding{"W002", Severity::kError, name,
+                    "wire is driven by " + std::to_string(ndrv) +
+                        " elements: " + join(who, ", "),
+                    {}, {}});
+    }
+  }
+}
+
+// --- W003: element with no recorded connectivity ---------------------------
+void rule_unrecorded(const Graph& g, Report& r) {
+  for (const auto& [name, kind] : g.elements) {
+    if (g.touched.count(name) > 0) continue;
+    r.add(Finding{"W003", Severity::kError, name,
+                  std::string("element (") + netlist::to_string(kind) +
+                      ") has zero recorded edges - a builder forgot "
+                      "note_edge(), so the connectivity graph is blind to it",
+                  {}, {}});
+  }
+}
+
+// --- shared SCC machinery (iterative Tarjan) -------------------------------
+// Nodes are indices into `names`; `adj` is an index adjacency. Returns
+// the node sets of every SCC that contains a cycle (size >= 2, or a
+// self-loop).
+std::vector<std::vector<std::size_t>> cyclic_sccs(
+    std::size_t n, const std::vector<std::vector<std::size_t>>& adj) {
+  std::vector<int> index(n, -1), low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::size_t> stack;
+  std::vector<std::vector<std::size_t>> out;
+  int next = 0;
+
+  struct Frame {
+    std::size_t v;
+    std::size_t child;
+  };
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    std::vector<Frame> call;
+    call.push_back({root, 0});
+    while (!call.empty()) {
+      Frame& f = call.back();
+      const std::size_t v = f.v;
+      if (f.child == 0) {
+        index[v] = low[v] = next++;
+        stack.push_back(v);
+        on_stack[v] = true;
+      }
+      if (f.child < adj[v].size()) {
+        const std::size_t w = adj[v][f.child++];
+        if (index[w] == -1) {
+          call.push_back({w, 0});
+        } else if (on_stack[w]) {
+          low[v] = std::min(low[v], low[w]);
+        }
+        continue;
+      }
+      if (low[v] == index[v]) {
+        std::vector<std::size_t> scc;
+        for (;;) {
+          const std::size_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          scc.push_back(w);
+          if (w == v) break;
+        }
+        const bool self_loop =
+            scc.size() == 1 &&
+            std::find(adj[scc[0]].begin(), adj[scc[0]].end(), scc[0]) !=
+                adj[scc[0]].end();
+        if (scc.size() >= 2 || self_loop) out.push_back(std::move(scc));
+      }
+      call.pop_back();
+      if (!call.empty()) {
+        low[call.back().v] = std::min(low[call.back().v], low[v]);
+      }
+    }
+  }
+  return out;
+}
+
+// --- C001: combinational cycles --------------------------------------------
+void rule_comb_cycles(const Graph& g, Report& r) {
+  // Element-level adjacency restricted to pure combinational elements;
+  // state-holding kinds (C-element, toggle, mutex, endpoint, unknown)
+  // legitimately close feedback loops and therefore break them here.
+  std::vector<std::string> names;
+  std::map<std::string, std::size_t> id;
+  for (const auto& [name, kind] : g.elements) {
+    if (!netlist::is_state_holding(kind)) {
+      id.emplace(name, names.size());
+      names.push_back(name);
+    }
+  }
+  std::vector<std::set<std::size_t>> aset(names.size());
+  auto connect = [&](const std::string& a, const std::string& b) {
+    auto ia = id.find(a);
+    auto ib = id.find(b);
+    if (ia != id.end() && ib != id.end()) aset[ia->second].insert(ib->second);
+  };
+  for (const auto& [wire, drvs] : g.drivers) {
+    const auto rd = g.readers.find(wire);
+    if (rd == g.readers.end()) continue;
+    for (const auto& d : drvs) {
+      for (const auto& rdr : rd->second) connect(d, rdr);
+    }
+  }
+  for (const auto& [from, to] : g.edges) {
+    if (g.is_element(from) && g.is_element(to)) connect(from, to);
+  }
+  std::vector<std::vector<std::size_t>> adj(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    adj[i].assign(aset[i].begin(), aset[i].end());
+  }
+
+  for (const auto& scc : cyclic_sccs(names.size(), adj)) {
+    std::vector<std::string> members;
+    for (std::size_t i : scc) members.push_back(names[i]);
+    std::sort(members.begin(), members.end());
+    r.add(Finding{"C001", Severity::kWarning, members.front(),
+                  "combinational cycle with no state-holding element (" +
+                      join(members, " -> ") +
+                      "): oscillates or floats unless this loop is a "
+                      "deliberate oscillator (suppress with a reason if so)",
+                  members, {}});
+  }
+}
+
+// --- H001: unpaired handshakes ---------------------------------------------
+void rule_handshakes(const Graph& g, const netlist::Circuit& c, Report& r) {
+  for (const auto& ch : c.channels()) {
+    if (!g.driven(ch.ack)) {
+      r.add(Finding{"H001", Severity::kError, ch.req,
+                    "handshake channel (" + ch.req + ", " + ch.ack +
+                        "): ack is never driven - no responder is attached, "
+                        "so a request can never be acknowledged",
+                    {ch.ack}, {}});
+      continue;
+    }
+    // ack is driven by *something*; demand a structural path req ->* ack
+    // so the acknowledgement actually depends on the request.
+    std::set<std::string> seen{ch.req};
+    std::vector<std::string> work{ch.req};
+    bool found = false;
+    while (!work.empty() && !found) {
+      const std::string v = std::move(work.back());
+      work.pop_back();
+      if (v == ch.ack) {
+        found = true;
+        break;
+      }
+      const auto it = g.adj.find(v);
+      if (it == g.adj.end()) continue;
+      for (const auto& w : it->second) {
+        if (seen.insert(w).second) work.push_back(w);
+      }
+    }
+    if (!found) {
+      r.add(Finding{"H001", Severity::kError, ch.req,
+                    "handshake channel (" + ch.req + ", " + ch.ack +
+                        "): ack is driven but unreachable from req - the "
+                        "acknowledgement cannot depend on the request",
+                    {ch.ack}, {}});
+    }
+  }
+}
+
+// --- F001: isochronic forks ------------------------------------------------
+void rule_forks(const Graph& g, Report& r) {
+  for (const auto& [wire, rdrs] : g.readers) {
+    if (rdrs.size() < 2) continue;
+    // Walk downstream; completion detection anywhere below the fork means
+    // the design observes, rather than assumes, the fork's settling.
+    std::set<std::string> seen{wire};
+    std::vector<std::string> work{wire};
+    bool completion = false;
+    while (!work.empty() && !completion) {
+      const std::string v = std::move(work.back());
+      work.pop_back();
+      const auto e = g.elements.find(v);
+      if (e != g.elements.end() &&
+          e->second == netlist::ElementKind::kCElement) {
+        completion = true;
+        break;
+      }
+      const auto it = g.adj.find(v);
+      if (it == g.adj.end()) continue;
+      for (const auto& w : it->second) {
+        if (seen.insert(w).second) work.push_back(w);
+      }
+    }
+    if (!completion) {
+      std::vector<std::string> who(rdrs.begin(), rdrs.end());
+      r.add(Finding{"F001", Severity::kInfo, wire,
+                    "isochronic fork: fans out to " +
+                        std::to_string(rdrs.size()) + " elements (" +
+                        join(who, ", ") +
+                        ") with no completion detection downstream - " +
+                        "correctness rests on a timing assumption here",
+                    {}, {}});
+    }
+  }
+}
+
+void apply_suppressions(const netlist::Circuit& c, Report& r) {
+  Report out;
+  for (Finding f : r.findings()) {
+    for (const auto& s : c.suppressions()) {
+      if (s.rule != f.rule) continue;
+      const bool hit =
+          s.subject == f.subject ||
+          std::find(f.members.begin(), f.members.end(), s.subject) !=
+              f.members.end();
+      if (hit) {
+        f.suppressed_reason = s.reason;
+        break;
+      }
+    }
+    out.add(std::move(f));
+  }
+  r = std::move(out);
+}
+
+}  // namespace
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> kCatalog = {
+      {"W001", Severity::kError, "undriven wire (floating input)"},
+      {"W002", Severity::kError, "multiply-driven wire (drive fight)"},
+      {"W003", Severity::kError,
+       "element with zero recorded edges (missing note_edge)"},
+      {"C001", Severity::kWarning,
+       "combinational cycle with no state-holding element"},
+      {"H001", Severity::kError, "unpaired handshake (req with no ack path)"},
+      {"D001", Severity::kError,
+       "structural deadlock (token-free cycle in the Petri abstraction)"},
+      {"F001", Severity::kInfo,
+       "isochronic fork without downstream completion detection"},
+  };
+  return kCatalog;
+}
+
+void Report::merge(const Report& other) {
+  findings_.insert(findings_.end(), other.findings_.begin(),
+                   other.findings_.end());
+}
+
+std::size_t Report::active_count(Severity at_least) const {
+  std::size_t n = 0;
+  for (const auto& f : findings_) {
+    if (!f.suppressed() &&
+        static_cast<int>(f.severity) >= static_cast<int>(at_least)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::string Report::text() const {
+  std::ostringstream os;
+  for (const auto& f : findings_) {
+    os << f.rule << " [" << to_string(f.severity) << "] " << f.subject << ": "
+       << f.detail;
+    if (f.suppressed()) os << " (suppressed: " << f.suppressed_reason << ")";
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string Report::json(const std::string& subject_name) const {
+  std::ostringstream os;
+  os << "{\"subject\":\"" << json_escape(subject_name)
+     << "\",\"clean\":" << (clean() ? "true" : "false") << ",\"findings\":[";
+  bool first = true;
+  for (const auto& f : findings_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"rule\":\"" << json_escape(f.rule) << "\",\"severity\":\""
+       << to_string(f.severity) << "\",\"subject\":\""
+       << json_escape(f.subject) << "\",\"detail\":\"" << json_escape(f.detail)
+       << "\"";
+    if (!f.members.empty()) {
+      os << ",\"members\":[";
+      for (std::size_t i = 0; i < f.members.size(); ++i) {
+        if (i > 0) os << ",";
+        os << "\"" << json_escape(f.members[i]) << "\"";
+      }
+      os << "]";
+    }
+    if (f.suppressed()) {
+      os << ",\"suppressed\":true,\"reason\":\""
+         << json_escape(f.suppressed_reason) << "\"";
+    }
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+Report analyze(const sched::EnergyPetriNet& net) {
+  Report r;
+  // Bipartite digraph: place -> transition (input arc), transition ->
+  // place (output arc). Every *marked* place is removed — a token on a
+  // cycle makes it live — so any cycle that survives carries no token and
+  // can never fire again once control reaches it.
+  const std::size_t np = net.place_count();
+  const std::size_t nt = net.transition_count();
+  std::vector<std::string> names(np + nt);
+  std::vector<std::vector<std::size_t>> adj(np + nt);
+  for (std::size_t p = 0; p < np; ++p) names[p] = net.place_name(p);
+  for (std::size_t t = 0; t < nt; ++t) {
+    names[np + t] = net.transition_name(t);
+    for (auto p : net.transition_inputs(t)) {
+      if (net.marking(p) == 0) adj[p].push_back(np + t);
+    }
+    for (auto p : net.transition_outputs(t)) {
+      if (net.marking(p) == 0) adj[np + t].push_back(p);
+    }
+  }
+  for (const auto& scc : cyclic_sccs(names.size(), adj)) {
+    std::vector<std::string> members;
+    for (std::size_t i : scc) members.push_back(names[i]);
+    std::sort(members.begin(), members.end());
+    r.add(Finding{"D001", Severity::kError, members.front(),
+                  "token-free cycle (" + join(members, " -> ") +
+                      "): every cycle of a live marked graph must carry at "
+                      "least one token; this one can never fire - "
+                      "structural deadlock",
+                  members, {}});
+  }
+  return r;
+}
+
+void handshake_petri(const netlist::Circuit& c, sched::EnergyPetriNet& net) {
+  const Graph g = build_graph(c);
+  for (const auto& ch : c.channels()) {
+    // One 4-phase cycle per channel:
+    //   idle -(req+)-> waiting -(ack+)-> release -(req-)-> draining
+    //        -(ack-)-> idle
+    // The cycle's single token models the channel at rest. It exists only
+    // when both sides are actually driven — an unanswered channel is a
+    // token-free cycle, the static image of the dynamic deadlock the
+    // kernel watchdog reports when the source waits forever.
+    const bool responsive = g.driven(ch.req) && g.driven(ch.ack);
+    const std::string tag = ch.req + "/" + ch.ack;
+    const auto idle = net.add_place(tag + ".idle", responsive ? 1 : 0);
+    const auto waiting = net.add_place(tag + ".waiting", 0);
+    const auto release = net.add_place(tag + ".release", 0);
+    const auto draining = net.add_place(tag + ".draining", 0);
+    net.add_transition(ch.req + "+", {idle}, {waiting});
+    net.add_transition(ch.ack + "+", {waiting}, {release});
+    net.add_transition(ch.req + "-", {release}, {draining});
+    net.add_transition(ch.ack + "-", {draining}, {idle});
+  }
+}
+
+Report analyze(const netlist::Circuit& c) {
+  const Graph g = build_graph(c);
+  Report r;
+  rule_wires(g, r);
+  rule_unrecorded(g, r);
+  rule_comb_cycles(g, r);
+  rule_handshakes(g, c, r);
+  if (!c.channels().empty()) {
+    // D001 over the handshake abstraction. The scratch kernel only hosts
+    // the net's construction; nothing is simulated.
+    sim::Kernel scratch;
+    sched::EnergyPetriNet net(scratch);
+    handshake_petri(c, net);
+    r.merge(analyze(net));
+  }
+  rule_forks(g, r);
+  apply_suppressions(c, r);
+  return r;
+}
+
+}  // namespace emc::lint

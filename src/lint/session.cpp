@@ -1,0 +1,69 @@
+#include "lint/session.hpp"
+
+#include <sstream>
+
+#include "exp/context_config.hpp"
+#include "netlist/module.hpp"
+#include "sched/petri.hpp"
+
+namespace emc::lint {
+
+Session::Session()
+    : ex_(std::make_unique<exp::Experiment>(
+          exp::ContextConfig::battery(1.0).build())) {}
+
+Session::~Session() = default;
+
+gates::Context& Session::ctx() { return ex_->ctx(); }
+
+sim::Kernel& Session::kernel() { return ex_->kernel(); }
+
+void Session::check(const netlist::Circuit& c) {
+  results_.emplace_back(c.name(), analyze(c));
+}
+
+void Session::check(const sched::EnergyPetriNet& net,
+                    const std::string& label) {
+  results_.emplace_back(label, analyze(net));
+}
+
+bool Session::clean() const {
+  if (results_.empty()) return false;
+  for (const auto& [name, report] : results_) {
+    if (!report.clean()) return false;
+  }
+  return true;
+}
+
+std::size_t Session::findings(Severity at_least) const {
+  std::size_t n = 0;
+  for (const auto& [name, report] : results_) {
+    n += report.active_count(at_least);
+  }
+  return n;
+}
+
+std::string Session::text() const {
+  std::ostringstream os;
+  for (const auto& [name, report] : results_) {
+    os << name << ": "
+       << (report.clean() ? "clean" : "NOT CLEAN") << " ("
+       << report.findings().size() << " finding(s), "
+       << report.active_count(Severity::kWarning) << " active)\n";
+    os << report.text();
+  }
+  return os.str();
+}
+
+std::string Session::json() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < results_.size(); ++i) {
+    if (i > 0) os << ",";
+    os << results_[i].second.json(results_[i].first);
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace emc::lint

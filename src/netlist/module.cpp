@@ -1,3 +1,31 @@
 #include "netlist/module.hpp"
 
-// Circuit is header-only; this TU anchors the header in the library.
+namespace emc::netlist {
+
+const char* to_string(ElementKind k) {
+  switch (k) {
+    case ElementKind::kComb: return "comb";
+    case ElementKind::kCElement: return "c-element";
+    case ElementKind::kToggle: return "toggle";
+    case ElementKind::kMutex: return "mutex";
+    case ElementKind::kEndpoint: return "endpoint";
+    case ElementKind::kOther: return "other";
+  }
+  return "?";
+}
+
+bool is_state_holding(ElementKind k) {
+  switch (k) {
+    case ElementKind::kComb:
+      return false;
+    case ElementKind::kCElement:
+    case ElementKind::kToggle:
+    case ElementKind::kMutex:
+    case ElementKind::kEndpoint:
+    case ElementKind::kOther:  // unknown: assume it may hold state
+      return true;
+  }
+  return true;
+}
+
+}  // namespace emc::netlist

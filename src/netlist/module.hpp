@@ -6,11 +6,24 @@
 // addresses); gates reference wires; everything shares one Context
 // (kernel + delay model + supply + meter). Circuits are built once and
 // torn down together — no dynamic reconfiguration, matching silicon.
+//
+// Connectivity metadata: besides ownership, a Circuit records a *typed*
+// inventory of its structure — wires (with origin flags: env-driven
+// testbench ports, external/foreign nets), elements (with an
+// ElementKind, so an analyzer sees "C-element" instead of a name
+// string), name-pair edges, handshake channels, and rule suppressions.
+// netlist::to_dot renders the edges; emc::lint's static rule passes
+// (src/lint/) consume the whole inventory. comb() and emplace<> record
+// elements automatically; edges for emplace<>'d gates must still be
+// note_edge()'d by the builder — the linter's W003 rule fails loudly on
+// any element with zero recorded edges, so a forgotten note_edge cannot
+// silently produce an incomplete graph again.
 #pragma once
 
 #include <cassert>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <typeinfo>
 #include <utility>
 #include <vector>
@@ -19,7 +32,61 @@
 #include "gates/gate.hpp"
 #include "sim/signal.hpp"
 
+namespace emc::gates {
+// Complete definitions are not needed for the kind mapping below —
+// emplace<T> sees the complete T at its instantiation site.
+class CElement;
+class Toggle;
+class Mutex;
+}  // namespace emc::gates
+
 namespace emc::netlist {
+
+/// What kind of thing an element is, as far as structural analysis is
+/// concerned. State-holding kinds (C-element, toggle, mutex, endpoint)
+/// legitimately sit on feedback cycles; pure combinational kinds on a
+/// cycle are an oscillation hazard (lint rule C001).
+enum class ElementKind {
+  kComb,      ///< combinational gate (CombGate / FunctionGate)
+  kCElement,  ///< Muller C-element (state-holding, completion logic)
+  kToggle,    ///< TOGGLE element (state-holding divider)
+  kMutex,     ///< mutual-exclusion element (state-holding arbiter)
+  kEndpoint,  ///< behavioural endpoint: latch rank, controller, source/sink
+  kOther,     ///< unknown element type — treated conservatively
+};
+
+const char* to_string(ElementKind k);
+
+/// True when elements of kind `k` may legitimately hold state across
+/// evaluations (and therefore break a combinational cycle).
+bool is_state_holding(ElementKind k);
+
+struct ElementInfo {
+  std::string name;
+  ElementKind kind = ElementKind::kOther;
+};
+
+struct WireInfo {
+  std::string name;
+  bool owned = true;        ///< created via wire() on this circuit
+  bool env_driven = false;  ///< testbench/endpoint drives it via set()
+  bool external = false;    ///< foreign net (port of another circuit)
+};
+
+/// A recorded req/ack handshake channel (lint rule H001/D001 input).
+struct ChannelInfo {
+  std::string req;
+  std::string ack;
+};
+
+/// A build-site waiver for one lint finding: rule + exact subject. The
+/// reason string is mandatory and surfaces in lint reports, so every
+/// suppression is self-documenting (mirroring NOLINT comments).
+struct Suppression {
+  std::string rule;
+  std::string subject;
+  std::string reason;
+};
 
 /// Typed ownership of a heterogeneous circuit element. Replaces the old
 /// `unique_ptr<void, void(*)(void*)>` trick: destruction runs the real
@@ -45,6 +112,32 @@ class TypedNode final : public OwnedNode {
   T value_;
 };
 
+namespace detail {
+/// Detects a `std::string name() const`-shaped accessor; elements
+/// without one cannot be auto-registered (use note_element manually).
+template <typename T, typename = void>
+struct HasName : std::false_type {};
+template <typename T>
+struct HasName<T, std::void_t<decltype(std::declval<const T&>().name())>>
+    : std::true_type {};
+
+template <typename T>
+constexpr ElementKind kind_of() {
+  if constexpr (std::is_same_v<T, gates::CombGate> ||
+                std::is_same_v<T, gates::FunctionGate>) {
+    return ElementKind::kComb;
+  } else if constexpr (std::is_same_v<T, gates::CElement>) {
+    return ElementKind::kCElement;
+  } else if constexpr (std::is_same_v<T, gates::Toggle>) {
+    return ElementKind::kToggle;
+  } else if constexpr (std::is_same_v<T, gates::Mutex>) {
+    return ElementKind::kMutex;
+  } else {
+    return ElementKind::kOther;
+  }
+}
+}  // namespace detail
+
 class Circuit {
  public:
   Circuit(gates::Context& ctx, std::string name)
@@ -60,18 +153,25 @@ class Circuit {
   sim::Wire& wire(const std::string& local, bool initial = false) {
     wires_.push_back(std::make_unique<sim::Wire>(ctx_->kernel,
                                                  name_ + "." + local, initial));
+    wire_infos_.push_back(WireInfo{wires_.back()->name(), true, false, false});
     return *wires_.back();
   }
 
-  /// Create (and own) any gate-like object; records connectivity for DOT
-  /// export when `inputs`/`output` are passed. Ownership is typed
-  /// (OwnedNode), so elements destroy through their real destructors and
-  /// can be introspected via element_type_name().
+  /// Create (and own) any gate-like object; elements exposing a name()
+  /// are recorded in the typed element inventory automatically (kind
+  /// derived from the concrete type). Connectivity edges must still be
+  /// note_edge()'d — lint rule W003 flags elements where that was
+  /// forgotten. Ownership is typed (OwnedNode), so elements destroy
+  /// through their real destructors and can be introspected via
+  /// element_type_name().
   template <typename T, typename... Args>
   T& emplace(Args&&... args) {
     auto owned = std::make_unique<TypedNode<T>>(std::forward<Args>(args)...);
     T& ref = owned->value();
     gates_.push_back(std::move(owned));
+    if constexpr (detail::HasName<T>::value) {
+      note_element(ref.name(), detail::kind_of<T>());
+    }
     return ref;
   }
 
@@ -90,8 +190,67 @@ class Circuit {
     edges_.emplace_back(from, to);
   }
 
+  /// Record an element in the typed inventory. Idempotent per name (the
+  /// first kind wins) — composites that describe themselves into a
+  /// circuit can be re-described without duplicating entries.
+  void note_element(const std::string& name, ElementKind kind) {
+    for (const auto& e : elements_) {
+      if (e.name == name) return;
+    }
+    elements_.push_back(ElementInfo{name, kind});
+  }
+
+  /// Record a wire this circuit references but does not own (a port of
+  /// another circuit, or a composite's internal net). External wires are
+  /// exempt from the linter's driver rules — their drivers live outside
+  /// this circuit's scope.
+  void note_external_wire(const std::string& name) {
+    if (WireInfo* w = find_wire(name)) {
+      (void)w;  // already inventoried (owned wins over external)
+      return;
+    }
+    wire_infos_.push_back(WireInfo{name, false, false, true});
+  }
+
+  /// Mark a wire as environment-driven: the testbench (or a behavioural
+  /// endpoint registered separately) moves it via set(), so the linter
+  /// must not expect a gate driver (rule W001).
+  void mark_env_driven(const sim::Wire& w) { mark_env_driven(w.name()); }
+  void mark_env_driven(const std::string& name) {
+    if (WireInfo* wi = find_wire(name)) {
+      wi->env_driven = true;
+      return;
+    }
+    wire_infos_.push_back(WireInfo{name, false, true, false});
+  }
+
+  /// Record a req/ack handshake channel (by wire name). Deduplicated;
+  /// both sides of a channel may note it. Lint rules H001 (unpaired
+  /// handshake) and D001 (structural deadlock) consume this inventory.
+  void note_handshake(const std::string& req, const std::string& ack) {
+    for (const auto& c : channels_) {
+      if (c.req == req && c.ack == ack) return;
+    }
+    channels_.push_back(ChannelInfo{req, ack});
+  }
+
+  /// Waive one lint finding at the build site: `rule` (e.g. "C001") on
+  /// the exact `subject` the finding names, with a mandatory reason that
+  /// surfaces in reports. Deliberate oscillators (ring oscillators, the
+  /// gated relaxation NAND) suppress C001 this way.
+  void suppress(const std::string& rule, const std::string& subject,
+                const std::string& reason) {
+    suppressions_.push_back(Suppression{rule, subject, reason});
+  }
+
   const std::vector<std::pair<std::string, std::string>>& edges() const {
     return edges_;
+  }
+  const std::vector<WireInfo>& wire_infos() const { return wire_infos_; }
+  const std::vector<ElementInfo>& elements() const { return elements_; }
+  const std::vector<ChannelInfo>& channels() const { return channels_; }
+  const std::vector<Suppression>& suppressions() const {
+    return suppressions_;
   }
 
   std::size_t wire_count() const { return wires_.size(); }
@@ -105,11 +264,22 @@ class Circuit {
   }
 
  private:
+  WireInfo* find_wire(const std::string& name) {
+    for (auto& w : wire_infos_) {
+      if (w.name == name) return &w;
+    }
+    return nullptr;
+  }
+
   gates::Context* ctx_;
   std::string name_;
   std::vector<std::unique_ptr<sim::Wire>> wires_;
   std::vector<std::unique_ptr<OwnedNode>> gates_;
   std::vector<std::pair<std::string, std::string>> edges_;
+  std::vector<WireInfo> wire_infos_;
+  std::vector<ElementInfo> elements_;
+  std::vector<ChannelInfo> channels_;
+  std::vector<Suppression> suppressions_;
 };
 
 }  // namespace emc::netlist

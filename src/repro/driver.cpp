@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "analysis/sweep_runner.hpp"
+#include "lint/session.hpp"
 #include "repro/registry.hpp"
 #include "repro/sha256.hpp"
 
@@ -29,6 +30,7 @@ struct CliOptions {
   bool list = false;
   bool check = false;
   bool smoke = false;
+  bool lint = false;
   bool seed_set = false;
   std::uint64_t seed = 0;
   unsigned jobs = 1;
@@ -46,6 +48,7 @@ struct ArtifactRecord {
 struct FigureResult {
   const Figure* fig = nullptr;
   bool run_failed = false;
+  bool lint_failed = false;
   bool missing_artifact = false;
   bool missing_ref = false;   // vacuous: declared ref absent on disk
   bool ref_mismatch = false;
@@ -57,9 +60,11 @@ struct FigureResult {
   std::string detail;  // human-readable failure explanation
 
   bool failed() const {
-    return run_failed || missing_artifact || ref_mismatch || threads_mismatch;
+    return run_failed || lint_failed || missing_artifact || ref_mismatch ||
+           threads_mismatch;
   }
   const char* status() const {
+    if (lint_failed) return "lint_failed";
     if (run_failed) return "run_failed";
     if (missing_artifact) return "missing_artifact";
     if (missing_ref) return "missing_ref";
@@ -156,6 +161,33 @@ FigureResult run_figure(const Figure& fig, const CliOptions& opt) {
   FigureResult r;
   r.fig = &fig;
   r.seed = opt.seed_set ? opt.seed : fig.default_seed;
+
+  // Static lint gate: run the figure's netlist rules *before* spending
+  // any simulation time on it — a structurally broken circuit fails in
+  // milliseconds with a named rule instead of minutes later with a
+  // watchdog verdict.
+  if (opt.lint) {
+    if (fig.lint == nullptr) {
+      r.lint_failed = true;
+      r.detail += "    --lint: figure registers no lint model\n";
+      return r;
+    }
+    lint::Session session;
+    try {
+      fig.lint(session);
+    } catch (const std::exception& e) {
+      r.lint_failed = true;
+      r.detail += std::string("    lint hook threw: ") + e.what() + "\n";
+      return r;
+    }
+    if (!session.clean()) {
+      r.lint_failed = true;
+      std::stringstream ss(session.text());
+      std::string line;
+      while (std::getline(ss, line)) r.detail += "    " + line + "\n";
+      return r;
+    }
+  }
 
   RunContext ctx;
   ctx.mode = opt.smoke ? Mode::kSmoke : Mode::kFull;
@@ -349,7 +381,7 @@ void print_usage() {
       "  emc_repro --all [flags]\n"
       "  emc_repro run <figure>... [flags]\n"
       "flags: --check  --threads-cross-check A,B  --manifest OUT.json\n"
-      "       --jobs N  --smoke  --seed N  --refs DIR\n");
+      "       --jobs N  --smoke  --seed N  --refs DIR  --lint\n");
 }
 
 int list_figures() {
@@ -389,6 +421,8 @@ bool parse_args(const std::vector<std::string>& args, CliOptions* opt) {
       opt->check = true;
     } else if (a == "--smoke") {
       opt->smoke = true;
+    } else if (a == "--lint") {
+      opt->lint = true;
     } else if (a == "--seed") {
       if (!next_value(&i, &v)) return false;
       char* end = nullptr;

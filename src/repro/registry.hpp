@@ -34,6 +34,10 @@
 
 #include "sim/kernel.hpp"
 
+namespace emc::lint {
+class Session;
+}
+
 namespace emc::repro {
 
 enum class Mode { kFull, kSmoke };
@@ -68,6 +72,10 @@ class RunContext {
 
 using RunFn = int (*)(const RunContext&);
 
+/// Static-lint hook: build the figure's circuits against the session's
+/// scratch context and `check` each one. Never simulates.
+using LintFn = void (*)(lint::Session&);
+
 /// One registered reproduction target.
 struct Figure {
   std::string name;   // registry key == bench file stem == binary name
@@ -81,6 +89,10 @@ struct Figure {
   std::uint64_t default_seed = 0;
   bool smoke_capable = false;
   RunFn run = nullptr;
+  /// Optional static-lint model (emc_lint / emc_repro --lint). Null =
+  /// the figure has no netlist to check; emc_lint reports that
+  /// explicitly rather than passing vacuously.
+  LintFn lint = nullptr;
 };
 
 class Registry {
@@ -132,6 +144,11 @@ class FigureBuilder {
   /// The body honors RunContext::smoke().
   FigureBuilder& smoke_mode() {
     fig_.smoke_capable = true;
+    return *this;
+  }
+  /// Attach the figure's static-lint model.
+  FigureBuilder& lint(LintFn fn) {
+    fig_.lint = fn;
     return *this;
   }
 

@@ -65,6 +65,15 @@ class EnergyPetriNet {
   std::size_t place_count() const { return places_.size(); }
   std::size_t transition_count() const { return transitions_.size(); }
 
+  /// Structural accessors for static analysis (lint rule D001 walks the
+  /// place/transition bipartite graph looking for token-free cycles).
+  const std::vector<PlaceId>& transition_inputs(TransitionId t) const {
+    return transitions_[t].inputs;
+  }
+  const std::vector<PlaceId>& transition_outputs(TransitionId t) const {
+    return transitions_[t].outputs;
+  }
+
   /// Structural invariant for tests: tokens are conserved per firing
   /// (inputs+cost consumed, outputs produced) — verified bookkeeping.
   std::uint64_t tokens_consumed() const { return consumed_; }

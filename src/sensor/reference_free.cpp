@@ -21,6 +21,8 @@ ReferenceFreeSensor::ReferenceFreeSensor(gates::Context& ctx,
     ruler_ = std::make_unique<gates::DelayLine>(
         ctx, circuit_.name() + ".ruler", *launch_, params_.ruler_stages);
   }
+  circuit_.mark_env_driven(*launch_);
+  ruler_->describe_into(circuit_);
 }
 
 double ReferenceFreeSensor::expected_code(double vdd) const {

@@ -65,6 +65,9 @@ class ReferenceFreeSensor {
   /// Closed-form expected code at constant `vdd` (the Fig. 5 ratio).
   double expected_code(double vdd) const;
 
+  /// Connectivity inventory (DOT export, static lint).
+  const netlist::Circuit& circuit() const { return circuit_; }
+
  private:
   void on_sram_complete();
   void settle_then_report();

@@ -22,6 +22,10 @@ RingOscillatorSensor::RingOscillatorSensor(gates::Context& ctx,
   }
   circuit_.comb("nand", gates::Op::kNand, std::vector<sim::Wire*>{enable_, prev},
                 *first);
+  circuit_.mark_env_driven(*enable_);
+  circuit_.suppress("C001", circuit_.name() + ".nand",
+                    "ring oscillator: the combinational loop IS the sensor "
+                    "(frequency ~ Vdd), gated by enable");
   out_ = prev;
 }
 

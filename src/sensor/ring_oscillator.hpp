@@ -48,6 +48,9 @@ class RingOscillatorSensor {
 
   bool measuring() const { return measuring_; }
 
+  /// Connectivity inventory (DOT export, static lint).
+  const netlist::Circuit& circuit() const { return circuit_; }
+
  private:
   netlist::Circuit circuit_;
   RingOscParams params_;

@@ -40,6 +40,20 @@ SiSram::SiSram(gates::Context& ctx, std::string name, SiSramParams params,
         ctx.meter->add(circuit_.name() + ".macro", energy_->leak_width_units());
     metered_ = true;
   }
+
+  // The phase sequencer (pump/finish) is behavioural, but its port
+  // connectivity is the Fig. 6 handshake: the controller drives every
+  // phase wire and answers req with ack.
+  const std::string ctl = circuit_.name() + ".ctl";
+  circuit_.note_element(ctl, netlist::ElementKind::kEndpoint);
+  circuit_.note_edge(req_->name(), ctl);
+  for (const sim::Wire* w : {ack_, pch_, wl_, we_, done_}) {
+    circuit_.note_edge(ctl, w->name());
+  }
+  // req is raised by the op pump on behalf of the requester (the
+  // environment), not by a gate in this circuit.
+  circuit_.mark_env_driven(*req_);
+  circuit_.note_handshake(req_->name(), ack_->name());
 }
 
 void SiSram::read(std::size_t addr, ReadCallback cb) {

@@ -88,6 +88,9 @@ class SiSram {
   sim::Wire& w_we() { return *we_; }
   sim::Wire& w_done() { return *done_; }
 
+  /// Connectivity inventory (DOT export, static lint).
+  const netlist::Circuit& circuit() const { return circuit_; }
+
  private:
   struct Op {
     bool is_write;

@@ -1,0 +1,147 @@
+// emc_lint — static netlist analyzer over the reproduction registry.
+//
+// Every registered figure may attach a lint model (a hook that builds
+// the figure's circuits against a scratch context and checks them); this
+// driver runs those models without simulating anything:
+//
+//   emc_lint list              figures and whether they carry a lint model
+//   emc_lint --rules           the rule catalog (IDs, severities)
+//   emc_lint --all [--json]    lint every figure (CI clean-bill gate)
+//   emc_lint <figure>... [--json]
+//
+// Exit codes: 0 = everything checked and clean; 1 = findings at warning
+// severity or above; 2 = usage error or a selected figure has no lint
+// model (refusing to pass vacuously).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+#include "lint/session.hpp"
+#include "repro/registry.hpp"
+
+namespace {
+
+void print_usage() {
+  std::printf(
+      "emc_lint — static netlist analyzer (rules: emc_lint --rules)\n"
+      "  emc_lint list\n"
+      "  emc_lint --all [--json]\n"
+      "  emc_lint <figure>... [--json]\n");
+}
+
+int print_rules() {
+  std::printf("rule  severity  summary\n");
+  for (const auto& r : emc::lint::rule_catalog()) {
+    std::printf("%-5s %-9s %s\n", r.id, emc::lint::to_string(r.severity),
+                r.summary);
+  }
+  std::printf(
+      "\nsuppression: Circuit::suppress(rule, subject, reason) at the build\n"
+      "site waives one finding; the reason is mandatory and appears in\n"
+      "reports. Informational findings never fail a run.\n");
+  return 0;
+}
+
+int list_figures() {
+  const auto figs = emc::repro::Registry::instance().figures();
+  std::printf("%zu registered figure(s):\n", figs.size());
+  for (const auto* f : figs) {
+    std::printf("  %-28s %s\n", f->name.c_str(),
+                f->lint != nullptr ? "[lint model]" : "(no lint model)");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool all = false;
+  bool json = false;
+  std::vector<std::string> names;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "list") return list_figures();
+    if (a == "--rules") return print_rules();
+    if (a == "--all") {
+      all = true;
+    } else if (a == "--json") {
+      json = true;
+    } else if (a == "--help" || a == "-h") {
+      print_usage();
+      return 0;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "emc_lint: unknown flag %s\n", a.c_str());
+      print_usage();
+      return 2;
+    } else {
+      names.push_back(a);
+    }
+  }
+
+  std::vector<const emc::repro::Figure*> selected;
+  if (all) {
+    selected = emc::repro::Registry::instance().figures();
+  } else {
+    if (names.empty()) {
+      print_usage();
+      return 2;
+    }
+    for (const auto& n : names) {
+      const auto* f = emc::repro::Registry::instance().find(n);
+      if (f == nullptr) {
+        std::fprintf(stderr, "emc_lint: unknown figure \"%s\" (try list)\n",
+                     n.c_str());
+        return 2;
+      }
+      selected.push_back(f);
+    }
+  }
+  if (selected.empty()) {
+    std::fprintf(stderr, "emc_lint: nothing registered\n");
+    return 2;
+  }
+
+  bool any_dirty = false;
+  bool any_missing = false;
+  std::string json_out = "{\"tool\":\"emc_lint\",\"figures\":[";
+  bool first = true;
+  for (const auto* f : selected) {
+    if (f->lint == nullptr) {
+      // Vacuous-pass refusal: a figure selected for lint but carrying no
+      // model would otherwise "pass" without a single rule running.
+      any_missing = true;
+      if (!json) {
+        std::printf("  [??] %-28s no lint model registered\n",
+                    f->name.c_str());
+      }
+      continue;
+    }
+    emc::lint::Session session;
+    f->lint(session);
+    const bool clean = session.clean();
+    any_dirty |= !clean;
+    if (json) {
+      if (!first) json_out += ",";
+      first = false;
+      json_out += "{\"figure\":\"" + f->name + "\",\"clean\":";
+      json_out += clean ? "true" : "false";
+      json_out += ",\"subjects\":" + session.json() + "}";
+    } else {
+      std::printf("  [%s] %-28s %zu subject(s), %zu active finding(s)\n",
+                  clean ? "ok" : "!!", f->name.c_str(),
+                  session.results().size(),
+                  session.findings(emc::lint::Severity::kWarning));
+      if (!clean ||
+          session.findings(emc::lint::Severity::kInfo) > 0) {
+        std::fputs(session.text().c_str(), stdout);
+      }
+    }
+  }
+  if (json) {
+    json_out += "]}";
+    std::printf("%s\n", json_out.c_str());
+  }
+  if (any_dirty) return 1;
+  return any_missing ? 2 : 0;
+}
