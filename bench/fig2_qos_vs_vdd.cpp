@@ -149,6 +149,19 @@ static void lint_fig2(emc::lint::Session& s) {
   emc::async::DualRailCounter drc(s.ctx(), "drc", 2);
   s.check(drc.circuit());
   emc::async::BundledCounter bc(s.ctx(), "bc", emc::async::BundledParams{});
+  // The figure sweeps the whole vdd_grid(); the bundled counter's margin
+  // genuinely collapses partway down that range — that collapse IS the
+  // figure (QoS melting below the critical voltage), so the static
+  // timing findings are expected and waived here, not fixed.
+  bc.circuit().declare_operating_range(0.15, 1.10);
+  bc.circuit().suppress("T001", "bc.bundle",
+                        "the margin collapse below ~0.55 V is the subject of "
+                        "this figure: Fig. 2 plots exactly the QoS cliff this "
+                        "violation predicts");
+  bc.circuit().suppress("T003", "bc",
+                        "the figure deliberately sweeps beyond the bundled "
+                        "design's functional floor to record where and how "
+                        "it fails");
   s.check(bc.circuit());
 }
 

@@ -103,8 +103,20 @@ static int run_fig4(const emc::repro::RunContext& ctx) {
 
 static void lint_fig4(emc::lint::Session& s) {
   emc::async::DualRailCounter drc(s.ctx(), "drc", 2);
+  // The AC supply swings 100-300 mV; clamp the declared range to the
+  // model's operational floor (below vmin_operate nothing switches —
+  // that is the brownout the figure studies, not a timing defect).
+  drc.circuit().declare_operating_range(0.14, 0.30);
   s.check(drc.circuit());
   emc::async::BundledCounter bc(s.ctx(), "bc", emc::async::BundledParams{});
+  bc.circuit().declare_operating_range(0.14, 0.30);
+  bc.circuit().suppress("T001", "bc.bundle",
+                        "at 100-300 mV the bundled margin is gone entirely - "
+                        "the figure exists to show the dual-rail design "
+                        "surviving exactly where this counter cannot");
+  bc.circuit().suppress("T003", "bc",
+                        "the AC trough sits far below the bundled design's "
+                        "static functional floor by construction");
   s.check(bc.circuit());
 }
 

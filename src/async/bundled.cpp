@@ -41,6 +41,11 @@ BundledCounter::BundledCounter(gates::Context& ctx, std::string name,
     const std::string gname = circuit_.name() + ".inc" + std::to_string(i);
     for (const sim::Wire* s : state_wires_) {
       circuit_.note_edge(s->name(), gname);
+      // Static twin of the FunctionGate's charge below: delay_stages *
+      // cap_factor of c_inv, at the stacked datapath's elevated Vth.
+      circuit_.note_timing_arc(s->name(), gname, d.name(),
+                               depth_of_bit(i) * kDatapathCap,
+                               params_.datapath_vth_offset);
     }
     circuit_.note_edge(gname, d.name());
     auto& g = circuit_.emplace<gates::FunctionGate>(
@@ -65,6 +70,16 @@ BundledCounter::BundledCounter(gates::Context& ctx, std::string name,
   line_ = std::make_unique<gates::DelayLine>(
       ctx, circuit_.name() + ".line", *go_, std::max<std::size_t>(stages, 2));
   line_->describe_into(circuit_);
+
+  // The bundled-data contract the whole design rests on, stated for the
+  // static margin analysis (sta rule T001): the line output must arrive
+  // after every datapath output has settled, at every operating point.
+  netlist::BundleInfo bundle;
+  bundle.name = circuit_.name() + ".bundle";
+  bundle.trigger = line_->output().name();
+  for (const sim::Wire* d : data_wires_) bundle.targets.push_back(d->name());
+  bundle.min_ratio = 1.0;
+  circuit_.note_bundle(std::move(bundle));
 
   // The capture latch is behavioural (on_line_output) but structurally it
   // is clocked by the delay-line output, samples the datapath, drives the

@@ -57,8 +57,12 @@ class BundledCounter {
   /// Current latched state.
   std::uint64_t state() const { return state_; }
 
-  /// Connectivity inventory (DOT export, static lint).
+  /// Connectivity inventory (DOT export, static lint). The mutable
+  /// overload lets a figure hook declare the operating range it sweeps
+  /// and place build-site suppressions before handing the circuit to an
+  /// analyzer.
   const netlist::Circuit& circuit() const { return circuit_; }
+  netlist::Circuit& circuit() { return circuit_; }
 
  private:
   void launch();

@@ -119,6 +119,10 @@ DualRailCounter::DualRailCounter(gates::Context& ctx, std::string name,
     for (const sim::Wire* in : ins) {
       circuit_.note_edge(in->name(), tname);
       circuit_.note_edge(in->name(), fname);
+      // Static timing arcs matching the FunctionGate charge below
+      // (depth stages x 2.5 cap factor, nominal threshold).
+      circuit_.note_timing_arc(in->name(), tname, t.name(), depth * 2.5);
+      circuit_.note_timing_arc(in->name(), fname, f.name(), depth * 2.5);
     }
     circuit_.note_edge(tname, t.name());
     circuit_.note_edge(fname, f.name());

@@ -102,8 +102,11 @@ class DualRailCounter {
   sim::Wire& done() { return *done_wire_; }
   DualRailWord& rails() { return *word_; }
 
-  /// Connectivity inventory (DOT export, static lint).
+  /// Connectivity inventory (DOT export, static lint). The mutable
+  /// overload lets a figure hook declare the operating range it sweeps
+  /// before handing the circuit to an analyzer.
   const netlist::Circuit& circuit() const { return circuit_; }
+  netlist::Circuit& circuit() { return circuit_; }
 
  private:
   void on_done_change();

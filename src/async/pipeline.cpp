@@ -29,6 +29,16 @@ MullerRing::MullerRing(gates::Context& ctx, std::string name,
     circuit_.note_edge(prev.name(), c.name());
     circuit_.note_edge(nnext.name(), c.name());
     circuit_.note_edge(c.name(), stage_wires_[i]->name());
+    // Static timing arcs for the emplaced C-elements (the inverters got
+    // theirs from comb()). The ring closes on itself, so the sta pass
+    // will exclude these from longest-path propagation as one cyclic
+    // SCC — recorded for completeness and fork analysis, not paths.
+    const double ce_load =
+        gates::CElement::delay_stages() * gates::CElement::cap_factor(2);
+    circuit_.note_timing_arc(prev.name(), c.name(),
+                             stage_wires_[i]->name(), ce_load);
+    circuit_.note_timing_arc(nnext.name(), c.name(),
+                             stage_wires_[i]->name(), ce_load);
     celements_.push_back(&c);
   }
 }

@@ -22,6 +22,8 @@
 // loss.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 
 #include "sim/random.hpp"
@@ -71,6 +73,29 @@ struct Variation {
     v.vth_sigma = vth_sigma_v;
     v.strength_sigma = strength_sigma;
     return v;
+  }
+
+  // --- worst-case corner queries (static margin analysis, emc::sta) ---
+  //
+  // The spread is read as a symmetric box around nominal: threshold
+  // within +/-(|corner shift| + k local sigmas), strength within
+  // 1 -/+ (|1 - corner drive| + k local sigmas). The static timing pass
+  // races the slowest plausible datapath device against the fastest
+  // plausible delay-line device — the adversarial pairing Monte-Carlo
+  // sampling only finds with luck.
+
+  /// The slowest device the box admits (highest Vth, weakest drive).
+  DeviceSample worst_slow(double k = 3.0) const {
+    const double dv = std::abs(corner_vth_shift) + k * vth_sigma;
+    const double ds = std::abs(1.0 - corner_drive) + k * strength_sigma;
+    return DeviceSample{dv, std::max(0.05, 1.0 - ds)};
+  }
+
+  /// The fastest device the box admits (lowest Vth, strongest drive).
+  DeviceSample worst_fast(double k = 3.0) const {
+    const double dv = std::abs(corner_vth_shift) + k * vth_sigma;
+    const double ds = std::abs(1.0 - corner_drive) + k * strength_sigma;
+    return DeviceSample{-dv, 1.0 + ds};
   }
 };
 

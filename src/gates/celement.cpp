@@ -5,10 +5,11 @@
 namespace emc::gates {
 
 namespace {
-// A C-element is roughly two inverting stages with feedback; charge both
-// the delay and the capacitance accordingly.
-constexpr double kDelayStages = 2.0;
-double cap_for(std::size_t fanin) { return 2.0 + 0.6 * double(fanin); }
+// A C-element is roughly two inverting stages with feedback; the delay
+// and capacitance factors live on the class (CElement::delay_stages /
+// cap_factor) so timing-arc annotation uses the same numbers.
+constexpr double kDelayStages = CElement::delay_stages();
+double cap_for(std::size_t fanin) { return CElement::cap_factor(fanin); }
 double leak_for(std::size_t fanin) { return 4.0 + 2.0 * double(fanin); }
 }  // namespace
 

@@ -25,6 +25,16 @@ class CElement final : public Gate {
            std::vector<sim::Wire*> plus, std::vector<sim::Wire*> minus,
            sim::Wire& out, double vth_offset = 0.0);
 
+  /// Timing-arc factors, matching what the constructor charges: a
+  /// C-element is ~two inverting stages driving a fanin-dependent load.
+  /// Builders recording static timing arcs (Circuit::note_timing_arc)
+  /// use delay_stages() * cap_factor(fanin) as the arc load so the
+  /// static model and the simulated gate agree by construction.
+  static constexpr double delay_stages() { return 2.0; }
+  static double cap_factor(std::size_t fanin) {
+    return 2.0 + 0.6 * static_cast<double>(fanin);
+  }
+
  protected:
   bool evaluate(bool current) const override;
 

@@ -25,6 +25,11 @@ CompletionDetector::CompletionDetector(Context& ctx, std::string name,
     described_edges_.emplace_back(bits[i].t->name(), gname);
     described_edges_.emplace_back(bits[i].f->name(), gname);
     described_edges_.emplace_back(gname, v.name());
+    const CellFactors f = factors_for(Op::kOr, 2);
+    described_arcs_.push_back({bits[i].t->name(), gname, v.name(),
+                               f.delay * f.cap});
+    described_arcs_.push_back({bits[i].f->name(), gname, v.name(),
+                               f.delay * f.cap});
     valids_.push_back(&v);
   }
 
@@ -50,8 +55,11 @@ CompletionDetector::CompletionDetector(Context& ctx, std::string name,
       const std::string gname =
           name + ".ce" + std::to_string(level) + "_" + std::to_string(i);
       described_elems_.emplace_back(gname, true);
+      const double ce_load =
+          CElement::delay_stages() * CElement::cap_factor(group.size());
       for (const sim::Wire* g : group) {
         described_edges_.emplace_back(g->name(), gname);
+        described_arcs_.push_back({g->name(), gname, out.name(), ce_load});
       }
       described_edges_.emplace_back(gname, out.name());
       gates_.push_back(
@@ -72,6 +80,9 @@ void CompletionDetector::describe_into(netlist::Circuit& c) const {
                                : netlist::ElementKind::kComb);
   }
   for (const auto& [from, to] : described_edges_) c.note_edge(from, to);
+  for (const auto& a : described_arcs_) {
+    c.note_timing_arc(a.from, a.via, a.to, a.load);
+  }
 }
 
 }  // namespace emc::gates

@@ -54,9 +54,17 @@ class CompletionDetector {
   sim::Wire* done_ = nullptr;
   std::size_t depth_ = 0;
   /// Structure captured at build time for describe_into: edges as name
-  /// pairs, elements as (name, is_c_element).
+  /// pairs, elements as (name, is_c_element), timing arcs as
+  /// (from, via, to, load-in-c_inv-units).
+  struct ArcRec {
+    std::string from;
+    std::string via;
+    std::string to;
+    double load;
+  };
   std::vector<std::pair<std::string, std::string>> described_edges_;
   std::vector<std::pair<std::string, bool>> described_elems_;
+  std::vector<ArcRec> described_arcs_;
 };
 
 }  // namespace emc::gates

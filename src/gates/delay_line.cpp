@@ -58,8 +58,14 @@ void DelayLine::describe_into(netlist::Circuit& c) const {
     const CombGate& g = *gates_[i];
     c.note_element(g.name(), netlist::ElementKind::kComb);
     c.note_external_wire(taps_[i]->name());
-    c.note_edge(prev == nullptr ? input_name_ : prev->name(), g.name());
+    const std::string& from = prev == nullptr ? input_name_ : prev->name();
+    c.note_edge(from, g.name());
     c.note_edge(g.name(), taps_[i]->name());
+    // Timing arc per stage: a reference inverter (load 1.0 c_inv) at the
+    // stage's actual per-instance threshold, Monte-Carlo draw included —
+    // the static model sees the same chain the wavefront traverses.
+    c.note_timing_arc(from, g.name(), taps_[i]->name(), 1.0, g.vth_offset(),
+                      g.strength());
     prev = taps_[i].get();
   }
 }

@@ -1,0 +1,60 @@
+// Shared graph machinery for the static analyzers (emc::lint, emc::sta).
+//
+// Both layers work on the same distillation of a Circuit's inventory — a
+// name-keyed digraph with wires and elements classified — and both need
+// cycle detection (lint to flag combinational loops, sta to exclude
+// deliberate oscillator rings from longest-path propagation). The model
+// and the iterative Tarjan SCC pass live here so the two analyzers agree
+// on the structure by construction.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "netlist/module.hpp"
+
+namespace emc::lint {
+
+/// Graph model distilled from a Circuit's inventory.
+///
+/// Nodes are names; the inventory tells us which are wires (with origin
+/// flags) and which are elements (with kinds). Names that appear only in
+/// edges are classified conservatively: adjacent to a known element they
+/// are foreign wires (exempt from driver rules), adjacent to a known wire
+/// they are elements of unknown kind (state-holding, so they break C001
+/// cycles rather than create false positives).
+struct Graph {
+  std::map<std::string, netlist::WireInfo> wires;
+  std::map<std::string, netlist::ElementKind> elements;
+  /// Deduplicated edges, and per-name adjacency for path searches.
+  std::set<std::pair<std::string, std::string>> edges;
+  std::map<std::string, std::set<std::string>> adj;
+  std::map<std::string, std::set<std::string>> radj;
+  /// Element drivers/readers per wire.
+  std::map<std::string, std::set<std::string>> drivers;
+  std::map<std::string, std::set<std::string>> readers;
+  /// Names with at least one incident edge.
+  std::set<std::string> touched;
+
+  bool is_element(const std::string& n) const { return elements.count(n) > 0; }
+
+  bool driven(const std::string& wire) const {
+    auto w = wires.find(wire);
+    if (w != wires.end() && w->second.env_driven) return true;
+    auto d = drivers.find(wire);
+    return d != drivers.end() && !d->second.empty();
+  }
+};
+
+Graph build_graph(const netlist::Circuit& c);
+
+/// Iterative Tarjan over an index graph: returns the node sets of every
+/// SCC that contains a cycle (size >= 2, or a self-loop).
+std::vector<std::vector<std::size_t>> cyclic_sccs(
+    std::size_t n, const std::vector<std::vector<std::size_t>>& adj);
+
+}  // namespace emc::lint

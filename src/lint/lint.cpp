@@ -7,6 +7,7 @@
 #include <sstream>
 #include <utility>
 
+#include "lint/graph.hpp"
 #include "netlist/module.hpp"
 #include "sched/petri.hpp"
 #include "sim/kernel.hpp"
@@ -43,72 +44,6 @@ std::string json_escape(const std::string& s) {
     }
   }
   return out;
-}
-
-// ---------------------------------------------------------------------------
-// Graph model distilled from a Circuit's inventory.
-//
-// Nodes are names; the inventory tells us which are wires (with origin
-// flags) and which are elements (with kinds). Names that appear only in
-// edges are classified conservatively: adjacent to a known element they
-// are foreign wires (exempt from driver rules), adjacent to a known wire
-// they are elements of unknown kind (state-holding, so they break C001
-// cycles rather than create false positives).
-// ---------------------------------------------------------------------------
-struct Graph {
-  std::map<std::string, netlist::WireInfo> wires;
-  std::map<std::string, netlist::ElementKind> elements;
-  /// Deduplicated edges, and per-name adjacency for path searches.
-  std::set<std::pair<std::string, std::string>> edges;
-  std::map<std::string, std::set<std::string>> adj;
-  std::map<std::string, std::set<std::string>> radj;
-  /// Element drivers/readers per wire.
-  std::map<std::string, std::set<std::string>> drivers;
-  std::map<std::string, std::set<std::string>> readers;
-  /// Names with at least one incident edge.
-  std::set<std::string> touched;
-
-  bool is_element(const std::string& n) const { return elements.count(n) > 0; }
-
-  bool driven(const std::string& wire) const {
-    auto w = wires.find(wire);
-    if (w != wires.end() && w->second.env_driven) return true;
-    auto d = drivers.find(wire);
-    return d != drivers.end() && !d->second.empty();
-  }
-};
-
-Graph build_graph(const netlist::Circuit& c) {
-  Graph g;
-  for (const auto& w : c.wire_infos()) g.wires.emplace(w.name, w);
-  for (const auto& e : c.elements()) g.elements.emplace(e.name, e.kind);
-
-  // Classify names seen only in edges. Two passes so an unknown name
-  // adjacent to a known element in *any* edge lands as a wire.
-  for (const auto& [from, to] : c.edges()) {
-    for (const std::string* n : {&from, &to}) {
-      if (g.wires.count(*n) > 0 || g.elements.count(*n) > 0) continue;
-      const std::string& other = (n == &from) ? to : from;
-      if (g.is_element(other)) {
-        g.wires.emplace(*n, netlist::WireInfo{*n, false, false, true});
-      } else {
-        g.elements.emplace(*n, netlist::ElementKind::kOther);
-      }
-    }
-  }
-
-  for (const auto& [from, to] : c.edges()) {
-    if (!g.edges.emplace(from, to).second) continue;
-    g.adj[from].insert(to);
-    g.radj[to].insert(from);
-    g.touched.insert(from);
-    g.touched.insert(to);
-    const bool fe = g.is_element(from);
-    const bool te = g.is_element(to);
-    if (fe && !te) g.drivers[to].insert(from);
-    if (!fe && te) g.readers[from].insert(to);
-  }
-  return g;
 }
 
 std::string join(const std::vector<std::string>& v, const char* sep) {
@@ -157,67 +92,6 @@ void rule_unrecorded(const Graph& g, Report& r) {
                       "note_edge(), so the connectivity graph is blind to it",
                   {}, {}});
   }
-}
-
-// --- shared SCC machinery (iterative Tarjan) -------------------------------
-// Nodes are indices into `names`; `adj` is an index adjacency. Returns
-// the node sets of every SCC that contains a cycle (size >= 2, or a
-// self-loop).
-std::vector<std::vector<std::size_t>> cyclic_sccs(
-    std::size_t n, const std::vector<std::vector<std::size_t>>& adj) {
-  std::vector<int> index(n, -1), low(n, 0);
-  std::vector<bool> on_stack(n, false);
-  std::vector<std::size_t> stack;
-  std::vector<std::vector<std::size_t>> out;
-  int next = 0;
-
-  struct Frame {
-    std::size_t v;
-    std::size_t child;
-  };
-  for (std::size_t root = 0; root < n; ++root) {
-    if (index[root] != -1) continue;
-    std::vector<Frame> call;
-    call.push_back({root, 0});
-    while (!call.empty()) {
-      Frame& f = call.back();
-      const std::size_t v = f.v;
-      if (f.child == 0) {
-        index[v] = low[v] = next++;
-        stack.push_back(v);
-        on_stack[v] = true;
-      }
-      if (f.child < adj[v].size()) {
-        const std::size_t w = adj[v][f.child++];
-        if (index[w] == -1) {
-          call.push_back({w, 0});
-        } else if (on_stack[w]) {
-          low[v] = std::min(low[v], low[w]);
-        }
-        continue;
-      }
-      if (low[v] == index[v]) {
-        std::vector<std::size_t> scc;
-        for (;;) {
-          const std::size_t w = stack.back();
-          stack.pop_back();
-          on_stack[w] = false;
-          scc.push_back(w);
-          if (w == v) break;
-        }
-        const bool self_loop =
-            scc.size() == 1 &&
-            std::find(adj[scc[0]].begin(), adj[scc[0]].end(), scc[0]) !=
-                adj[scc[0]].end();
-        if (scc.size() >= 2 || self_loop) out.push_back(std::move(scc));
-      }
-      call.pop_back();
-      if (!call.empty()) {
-        low[call.back().v] = std::min(low[call.back().v], low[v]);
-      }
-    }
-  }
-  return out;
 }
 
 // --- C001: combinational cycles --------------------------------------------
@@ -343,23 +217,13 @@ void rule_forks(const Graph& g, Report& r) {
   }
 }
 
-void apply_suppressions(const netlist::Circuit& c, Report& r) {
-  Report out;
-  for (Finding f : r.findings()) {
-    for (const auto& s : c.suppressions()) {
-      if (s.rule != f.rule) continue;
-      const bool hit =
-          s.subject == f.subject ||
-          std::find(f.members.begin(), f.members.end(), s.subject) !=
-              f.members.end();
-      if (hit) {
-        f.suppressed_reason = s.reason;
-        break;
-      }
-    }
-    out.add(std::move(f));
-  }
-  r = std::move(out);
+/// The rule IDs this analyzer's own pipeline can produce (stale-
+/// suppression detection must not call a T-rule waiver stale just
+/// because the *lint* pass, which never emits T-rules, saw no match).
+const std::vector<std::string>& lint_rules() {
+  static const std::vector<std::string> kRules = {
+      "W001", "W002", "W003", "C001", "H001", "D001", "F001"};
+  return kRules;
 }
 
 }  // namespace
@@ -389,13 +253,68 @@ const std::vector<RuleInfo>& rule_catalog() {
        "structural deadlock (token-free cycle in the Petri abstraction)"},
       {"F001", Severity::kInfo,
        "isochronic fork without downstream completion detection"},
+      {"S001", Severity::kInfo,
+       "stale suppression (a build-site waiver matched no finding)"},
   };
   return kCatalog;
+}
+
+void apply_suppressions(const netlist::Circuit& c,
+                        const std::vector<std::string>& handled_rules,
+                        Report& r) {
+  Report out;
+  std::vector<bool> used(c.suppressions().size(), false);
+  for (Finding f : r.findings()) {
+    const auto& sups = c.suppressions();
+    for (std::size_t i = 0; i < sups.size(); ++i) {
+      const auto& s = sups[i];
+      if (s.rule != f.rule) continue;
+      const bool hit =
+          s.subject == f.subject ||
+          std::find(f.members.begin(), f.members.end(), s.subject) !=
+              f.members.end();
+      if (hit) {
+        f.suppressed_reason = s.reason;
+        used[i] = true;
+        break;
+      }
+    }
+    out.add(std::move(f));
+  }
+  // Stale-suppression detection (S001): a waiver for a rule this pass
+  // actually runs that matched nothing no longer excuses anything — the
+  // defect was fixed (delete the waiver) or the subject was renamed (the
+  // waiver silently stopped protecting it). Informational, so a stale
+  // waiver surfaces in every report without failing the gate.
+  for (std::size_t i = 0; i < c.suppressions().size(); ++i) {
+    if (used[i]) continue;
+    const auto& s = c.suppressions()[i];
+    if (std::find(handled_rules.begin(), handled_rules.end(), s.rule) ==
+        handled_rules.end()) {
+      continue;  // owned by another analyzer (e.g. a T-rule under lint)
+    }
+    out.add(Finding{"S001", Severity::kInfo, s.subject,
+                    "suppression of " + s.rule + " (reason: " + s.reason +
+                        ") matched no finding - the waiver is stale; "
+                        "delete it or fix its subject",
+                    {}, {}});
+  }
+  r = std::move(out);
 }
 
 void Report::merge(const Report& other) {
   findings_.insert(findings_.end(), other.findings_.begin(),
                    other.findings_.end());
+}
+
+Report Report::filtered(const std::vector<std::string>& rules) const {
+  Report out;
+  for (const auto& f : findings_) {
+    if (std::find(rules.begin(), rules.end(), f.rule) != rules.end()) {
+      out.add(f);
+    }
+  }
+  return out;
 }
 
 std::size_t Report::active_count(Severity at_least) const {
@@ -523,7 +442,7 @@ Report analyze(const netlist::Circuit& c) {
     r.merge(analyze(net));
   }
   rule_forks(g, r);
-  apply_suppressions(c, r);
+  apply_suppressions(c, lint_rules(), r);
   return r;
 }
 

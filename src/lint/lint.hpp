@@ -36,11 +36,18 @@
 //                              elements with no completion detection
 //                              (C-element) downstream — the timing
 //                              assumption bundled-data designs rest on,
-//                              surfaced rather than judged
+//                              surfaced rather than judged (emc::sta's
+//                              T002 *checks* it where timing arcs exist)
+//   S001  stale suppression    informational: a build-site waiver that
+//                              matched no finding — the defect it excused
+//                              is gone (delete the waiver) or its subject
+//                              was renamed (the waiver protects nothing)
 //
 // Suppression: Circuit::suppress(rule, subject, reason) waives a finding
 // whose subject (or any cycle member) matches; the reason is mandatory
 // and carried into reports, mirroring justified NOLINT comments.
+// The timing rules (T001-T003, src/sta/) share this report/suppression
+// pipeline; each analyzer only stale-checks waivers for rules it runs.
 #pragma once
 
 #include <cstddef>
@@ -100,6 +107,10 @@ class Report {
   /// findings and suppressed findings do not dirty a report).
   bool clean() const { return active_count(Severity::kWarning) == 0; }
 
+  /// A copy holding only findings whose rule is in `rules` (the --only
+  /// CLI filter; suppressed findings of a kept rule are kept too).
+  Report filtered(const std::vector<std::string>& rules) const;
+
   /// Human-readable listing (one line per finding, suppressions marked).
   std::string text() const;
 
@@ -122,6 +133,16 @@ Report analyze(const netlist::Circuit& c);
 /// around it again once execution reaches it; for marked graphs this is
 /// exactly the classic liveness condition).
 Report analyze(const sched::EnergyPetriNet& net);
+
+/// Apply `c`'s build-site suppressions to `r`: findings matched by a
+/// waiver are marked suppressed; waivers for a rule in `handled_rules`
+/// that matched nothing become S001 (stale suppression) info findings.
+/// `handled_rules` is the set of rule IDs the calling analyzer actually
+/// runs — a T-rule waiver is not stale just because the lint pass, which
+/// never emits T-rules, saw no match (and vice versa).
+void apply_suppressions(const netlist::Circuit& c,
+                        const std::vector<std::string>& handled_rules,
+                        Report& r);
 
 /// Build the 4-phase Petri abstraction of `c`'s recorded handshake
 /// channels into `net`: per channel a req+ -> ack+ -> req- -> ack- cycle

@@ -27,6 +27,12 @@ void Session::check(const sched::EnergyPetriNet& net,
   results_.emplace_back(label, analyze(net));
 }
 
+void Session::filter_rules(const std::vector<std::string>& rules) {
+  for (auto& [name, report] : results_) {
+    report = report.filtered(rules);
+  }
+}
+
 bool Session::clean() const {
   if (results_.empty()) return false;
   for (const auto& [name, report] : results_) {

@@ -36,7 +36,7 @@ namespace emc::lint {
 class Session {
  public:
   Session();
-  ~Session();
+  virtual ~Session();
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
@@ -47,11 +47,19 @@ class Session {
   sim::Kernel& kernel();
 
   /// Run the full rule pipeline over `c` and record the report under the
-  /// circuit's name.
-  void check(const netlist::Circuit& c);
+  /// circuit's name. Virtual so one figure hook serves every analyzer
+  /// built on this session (sta::Session overrides it with the timing
+  /// pipeline — same hooks, different rules).
+  virtual void check(const netlist::Circuit& c);
 
   /// Run D001 (structural liveness) over a Petri net's current marking.
-  void check(const sched::EnergyPetriNet& net, const std::string& label);
+  virtual void check(const sched::EnergyPetriNet& net,
+                     const std::string& label);
+
+  /// Keep only findings whose rule ID is in `rules` (the --only CLI
+  /// filter). Subjects stay recorded, so clean() still refuses to pass
+  /// vacuously on an empty session.
+  void filter_rules(const std::vector<std::string>& rules);
 
   const std::vector<std::pair<std::string, Report>>& results() const {
     return results_;
@@ -69,6 +77,12 @@ class Session {
   std::string text() const;
   /// JSON array of per-subject report objects.
   std::string json() const;
+
+ protected:
+  /// Record a finished report under `name` (for derived analyzers).
+  void add_result(std::string name, Report r) {
+    results_.emplace_back(std::move(name), std::move(r));
+  }
 
  private:
   std::unique_ptr<exp::Experiment> ex_;

@@ -18,20 +18,34 @@ std::string quote(const std::string& s) {
 }  // namespace
 
 std::string to_dot(const Circuit& circuit) {
+  return to_dot(circuit, DotStyle{});
+}
+
+std::string to_dot(const Circuit& circuit, const DotStyle& style) {
   std::ostringstream os;
   os << "digraph " << quote(circuit.name()) << " {\n"
      << "  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
   for (const auto& [from, to] : circuit.edges()) {
-    os << "  " << quote(from) << " -> " << quote(to) << ";\n";
+    os << "  " << quote(from) << " -> " << quote(to);
+    if (style.highlight_edges.count({from, to}) > 0) {
+      os << " [color=" << quote(style.highlight_color)
+         << ", penwidth=2.0, style=bold]";
+    }
+    os << ";\n";
   }
   os << "}\n";
   return os.str();
 }
 
 bool write_dot(const Circuit& circuit, const std::string& path) {
+  return write_dot(circuit, DotStyle{}, path);
+}
+
+bool write_dot(const Circuit& circuit, const DotStyle& style,
+               const std::string& path) {
   std::ofstream out(path);
   if (!out) return false;
-  out << to_dot(circuit);
+  out << to_dot(circuit, style);
   return static_cast<bool>(out);
 }
 

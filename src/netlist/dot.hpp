@@ -1,16 +1,34 @@
 // Graphviz export of circuit connectivity (documentation aid).
 #pragma once
 
+#include <set>
 #include <string>
+#include <utility>
 
 #include "netlist/module.hpp"
 
 namespace emc::netlist {
 
+/// Styling for to_dot: edges listed in `highlight_edges` (exact
+/// (from, to) name pairs, e.g. the critical-path edges of a violated
+/// timing constraint from sta::Analysis) are drawn bold in
+/// `highlight_color`; everything else renders as before.
+struct DotStyle {
+  std::set<std::pair<std::string, std::string>> highlight_edges;
+  std::string highlight_color = "red";
+};
+
 /// Render the recorded edges of `circuit` as a DOT digraph.
 std::string to_dot(const Circuit& circuit);
 
+/// Same, with per-edge styling applied.
+std::string to_dot(const Circuit& circuit, const DotStyle& style);
+
 /// Write the DOT text to `path`; returns false on I/O failure.
 bool write_dot(const Circuit& circuit, const std::string& path);
+
+/// Write styled DOT text to `path`; returns false on I/O failure.
+bool write_dot(const Circuit& circuit, const DotStyle& style,
+               const std::string& path);
 
 }  // namespace emc::netlist

@@ -14,6 +14,12 @@ const char* to_string(ElementKind k) {
   return "?";
 }
 
+OperatingRange Circuit::operating_range() const {
+  if (range_.declared) return range_;
+  const device::Tech& t = ctx_->model.tech();
+  return OperatingRange{t.vmin_operate, t.vdd_nominal, false};
+}
+
 bool is_state_holding(ElementKind k) {
   switch (k) {
     case ElementKind::kComb:

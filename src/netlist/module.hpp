@@ -88,6 +88,43 @@ struct Suppression {
   std::string reason;
 };
 
+/// One timing arc of the static timing model (emc::sta): a transition on
+/// wire `from` propagates through element `via` and lands on wire `to`
+/// after the element's delay. `load` is the switched capacitance driven
+/// during that propagation in reference-inverter units (c_inv), i.e.
+/// delay_stages * cap_factor — exactly the cload the dynamic Gate charges
+/// per transition, so static and simulated delays agree by construction.
+struct TimingArc {
+  std::string from;
+  std::string via;
+  std::string to;
+  double load = 1.0;
+  double vth_offset = 0.0;
+  double strength = 1.0;
+};
+
+/// A bundled-data timing constraint: the capture event on `trigger` (a
+/// matched delay-line output) must arrive no earlier than min_ratio times
+/// the settling of every `targets` wire (the single-rail datapath the
+/// latch samples on that trigger). emc::sta sweeps this ratio over the
+/// declared operating range — rule T001.
+struct BundleInfo {
+  std::string name;
+  std::string trigger;
+  std::vector<std::string> targets;
+  double min_ratio = 1.0;
+};
+
+/// The Vdd interval a circuit claims to function over. Undeclared
+/// circuits default to [Tech::vmin_operate, Tech::vdd_nominal]; figures
+/// that sweep wider declare it so the static margin analysis covers what
+/// the simulation will actually visit.
+struct OperatingRange {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool declared = false;
+};
+
 /// Typed ownership of a heterogeneous circuit element. Replaces the old
 /// `unique_ptr<void, void(*)(void*)>` trick: destruction runs the real
 /// destructor through a virtual call, and type_name() makes the element
@@ -175,14 +212,24 @@ class Circuit {
     return ref;
   }
 
-  /// Convenience: combinational gate with connectivity recording.
+  /// Convenience: combinational gate with connectivity recording. Also
+  /// records one timing arc per input using the same cell factors the
+  /// gate's constructor charges (load = delay_stages * cap_factor), so
+  /// circuits assembled through comb() get a static timing model for
+  /// free.
   gates::CombGate& comb(const std::string& local, gates::Op op,
                         std::vector<sim::Wire*> inputs, sim::Wire& out,
                         double vth_offset = 0.0) {
-    for (auto* w : inputs) edges_.emplace_back(w->name(), name_ + "." + local);
-    edges_.emplace_back(name_ + "." + local, out.name());
-    return emplace<gates::CombGate>(*ctx_, name_ + "." + local, op,
-                                    std::move(inputs), out, vth_offset);
+    const std::string gname = name_ + "." + local;
+    const gates::CellFactors f = gates::factors_for(op, inputs.size());
+    for (auto* w : inputs) {
+      edges_.emplace_back(w->name(), gname);
+      timing_arcs_.push_back(TimingArc{w->name(), gname, out.name(),
+                                       f.delay * f.cap, vth_offset, 1.0});
+    }
+    edges_.emplace_back(gname, out.name());
+    return emplace<gates::CombGate>(*ctx_, gname, op, std::move(inputs), out,
+                                    vth_offset);
   }
 
   /// Record an edge manually (for gates built via emplace<>).
@@ -237,11 +284,45 @@ class Circuit {
   /// Waive one lint finding at the build site: `rule` (e.g. "C001") on
   /// the exact `subject` the finding names, with a mandatory reason that
   /// surfaces in reports. Deliberate oscillators (ring oscillators, the
-  /// gated relaxation NAND) suppress C001 this way.
+  /// gated relaxation NAND) suppress C001 this way. A suppression that
+  /// matches no finding is itself reported (rule S001), so waivers
+  /// cannot silently outlive the defect they excused.
   void suppress(const std::string& rule, const std::string& subject,
                 const std::string& reason) {
     suppressions_.push_back(Suppression{rule, subject, reason});
   }
+
+  /// Record a timing arc manually (for gates built via emplace<>, or
+  /// composites replaying their structure in describe_into hooks).
+  /// `load` is in reference-inverter capacitance units:
+  /// delay_stages * cap_factor of the element — the cload its dynamic
+  /// twin hands to DelayModel::delay_seconds on every transition.
+  void note_timing_arc(const std::string& from, const std::string& via,
+                       const std::string& to, double load,
+                       double vth_offset = 0.0, double strength = 1.0) {
+    timing_arcs_.push_back(
+        TimingArc{from, via, to, load, vth_offset, strength});
+  }
+
+  /// Record a bundled-data constraint for the static margin analysis
+  /// (sta rule T001). Deduplicated by name.
+  void note_bundle(BundleInfo b) {
+    for (const auto& e : bundles_) {
+      if (e.name == b.name) return;
+    }
+    bundles_.push_back(std::move(b));
+  }
+
+  /// Declare the Vdd interval this circuit is expected to function over
+  /// (what its figure sweeps). Without a declaration the range defaults
+  /// to [vmin_operate, vdd_nominal] of the context's technology.
+  void declare_operating_range(double lo, double hi) {
+    assert(lo > 0.0 && hi >= lo);
+    range_ = OperatingRange{lo, hi, true};
+  }
+
+  /// The resolved operating range (declared, or the technology default).
+  OperatingRange operating_range() const;
 
   const std::vector<std::pair<std::string, std::string>>& edges() const {
     return edges_;
@@ -252,6 +333,8 @@ class Circuit {
   const std::vector<Suppression>& suppressions() const {
     return suppressions_;
   }
+  const std::vector<TimingArc>& timing_arcs() const { return timing_arcs_; }
+  const std::vector<BundleInfo>& bundles() const { return bundles_; }
 
   std::size_t wire_count() const { return wires_.size(); }
   std::size_t element_count() const { return gates_.size(); }
@@ -280,6 +363,9 @@ class Circuit {
   std::vector<ElementInfo> elements_;
   std::vector<ChannelInfo> channels_;
   std::vector<Suppression> suppressions_;
+  std::vector<TimingArc> timing_arcs_;
+  std::vector<BundleInfo> bundles_;
+  OperatingRange range_{};
 };
 
 }  // namespace emc::netlist

@@ -13,6 +13,7 @@
 #include "lint/session.hpp"
 #include "repro/registry.hpp"
 #include "repro/sha256.hpp"
+#include "sta/session.hpp"
 
 // Default reference directory: the source tree's bench/refs, baked in at
 // configure time so the driver works from any build directory.
@@ -31,6 +32,7 @@ struct CliOptions {
   bool check = false;
   bool smoke = false;
   bool lint = false;
+  bool sta = false;
   bool seed_set = false;
   std::uint64_t seed = 0;
   unsigned jobs = 1;
@@ -49,6 +51,7 @@ struct FigureResult {
   const Figure* fig = nullptr;
   bool run_failed = false;
   bool lint_failed = false;
+  bool sta_failed = false;
   bool missing_artifact = false;
   bool missing_ref = false;   // vacuous: declared ref absent on disk
   bool ref_mismatch = false;
@@ -60,11 +63,12 @@ struct FigureResult {
   std::string detail;  // human-readable failure explanation
 
   bool failed() const {
-    return run_failed || lint_failed || missing_artifact || ref_mismatch ||
-           threads_mismatch;
+    return run_failed || lint_failed || sta_failed || missing_artifact ||
+           ref_mismatch || threads_mismatch;
   }
   const char* status() const {
     if (lint_failed) return "lint_failed";
+    if (sta_failed) return "sta_failed";
     if (run_failed) return "run_failed";
     if (missing_artifact) return "missing_artifact";
     if (missing_ref) return "missing_ref";
@@ -182,6 +186,36 @@ FigureResult run_figure(const Figure& fig, const CliOptions& opt) {
     }
     if (!session.clean()) {
       r.lint_failed = true;
+      std::stringstream ss(session.text());
+      std::string line;
+      while (std::getline(ss, line)) r.detail += "    " + line + "\n";
+      return r;
+    }
+  }
+
+  // Static timing gate: same hook, run through the sta pipeline. A
+  // bundled-data margin that dies somewhere in the operating range fails
+  // here with a named rule and a voltage, before any event is simulated.
+  if (opt.sta) {
+    if (fig.lint == nullptr) {
+      r.sta_failed = true;
+      r.detail += "    --sta: figure registers no timing model\n";
+      return r;
+    }
+    sta::Session session;
+    try {
+      fig.lint(session);
+    } catch (const std::exception& e) {
+      r.sta_failed = true;
+      r.detail += std::string("    sta hook threw: ") + e.what() + "\n";
+      return r;
+    }
+    if (!session.clean() || session.vacuous()) {
+      r.sta_failed = true;
+      for (const auto& s : session.vacuous_subjects()) {
+        r.detail += "    vacuous timing model: " + s +
+                    " records bundles but no arcs reach them\n";
+      }
       std::stringstream ss(session.text());
       std::string line;
       while (std::getline(ss, line)) r.detail += "    " + line + "\n";
@@ -381,7 +415,7 @@ void print_usage() {
       "  emc_repro --all [flags]\n"
       "  emc_repro run <figure>... [flags]\n"
       "flags: --check  --threads-cross-check A,B  --manifest OUT.json\n"
-      "       --jobs N  --smoke  --seed N  --refs DIR  --lint\n");
+      "       --jobs N  --smoke  --seed N  --refs DIR  --lint  --sta\n");
 }
 
 int list_figures() {
@@ -423,6 +457,8 @@ bool parse_args(const std::vector<std::string>& args, CliOptions* opt) {
       opt->smoke = true;
     } else if (a == "--lint") {
       opt->lint = true;
+    } else if (a == "--sta") {
+      opt->sta = true;
     } else if (a == "--seed") {
       if (!next_value(&i, &v)) return false;
       char* end = nullptr;

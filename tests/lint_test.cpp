@@ -199,6 +199,43 @@ TEST(LintC001, SuppressionWaivesButStillReports) {
   EXPECT_TRUE(seen);  // waived, not hidden
 }
 
+TEST(LintS001, StaleWaiverSurfacesLiveWaiverDoesNot) {
+  Fixture f;
+  netlist::Circuit c(f.ctx, "c1s");
+  sim::Wire& a = c.wire("a");
+  sim::Wire& b = c.wire("b");
+  c.comb("inv1", gates::Op::kInv, {&a}, b);
+  c.comb("inv2", gates::Op::kInv, {&b}, a);
+  // One live waiver (matches the C001 cycle) and one stale one (its
+  // subject was "renamed away" - it anchors to nothing).
+  c.suppress("C001", "c1s.inv1", "deliberate oscillator (test)");
+  c.suppress("C001", "c1s.inv_gone", "left behind after a refactor");
+  const Report r = analyze(c);
+  EXPECT_TRUE(r.clean());  // S001 is informational
+  const auto stale = active(r, "S001");
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0]->subject, "c1s.inv_gone");
+  EXPECT_NE(stale[0]->detail.find("left behind after a refactor"),
+            std::string::npos);
+}
+
+TEST(LintS001, ForeignRuleWaiverIsNotStaleHere) {
+  // A T-rule (timing) waiver matched nothing because the *lint* pass
+  // never emits T-rules - that is not staleness, and flagging it would
+  // force every bundled-data figure to choose between a false S001 in
+  // lint and a missing waiver in sta.
+  Fixture f;
+  netlist::Circuit c(f.ctx, "tw");
+  sim::Wire& in = c.wire("in");
+  sim::Wire& out = c.wire("out");
+  c.mark_env_driven(in);
+  c.comb("buf", gates::Op::kBuf, {&in}, out);
+  c.suppress("T001", "tw.bundle", "margin collapse is the figure's point");
+  const Report r = analyze(c);
+  EXPECT_TRUE(active(r, "S001").empty());
+  EXPECT_TRUE(r.clean());
+}
+
 // ---- H001: unpaired handshake -------------------------------------------
 
 TEST(LintH001, SourceWithoutSinkFlagged) {
@@ -332,6 +369,33 @@ TEST(LintCleanBill, ProductionCircuitsAnalyzeClean) {
 TEST(LintSession, EmptySessionIsNotClean) {
   Session s;
   EXPECT_FALSE(s.clean());  // vacuous pass refused
+}
+
+TEST(LintSession, FilterRulesImplementsTheOnlyFlagContract) {
+  // The CLI's --only filter: restricted to a rule the circuit passes,
+  // the session reads clean (exit 0); unrestricted, the seeded defect
+  // still fails it (exit 1). Filtering must not empty the subject list,
+  // or --only would turn the vacuous-pass refusal off.
+  Session s;
+  netlist::Circuit c(s.ctx(), "bad");
+  sim::Wire& in = c.wire("in");
+  sim::Wire& out = c.wire("out");
+  c.comb("buf", gates::Op::kBuf, {&in}, out);  // `in` floats: W001
+  s.check(c);
+  EXPECT_FALSE(s.clean());
+  s.filter_rules({"C001"});
+  EXPECT_TRUE(s.clean());
+  EXPECT_EQ(s.results().size(), 1u);
+  EXPECT_EQ(s.findings(Severity::kWarning), 0u);
+
+  Session s2;
+  netlist::Circuit c2(s2.ctx(), "bad2");
+  sim::Wire& in2 = c2.wire("in");
+  sim::Wire& out2 = c2.wire("out");
+  c2.comb("buf", gates::Op::kBuf, {&in2}, out2);
+  s2.check(c2);
+  s2.filter_rules({"W001", "C001"});
+  EXPECT_FALSE(s2.clean());  // the filtered-in rule still fails
 }
 
 TEST(LintSession, DirtySubjectDirtiesSession) {

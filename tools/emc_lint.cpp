@@ -8,6 +8,7 @@
 //   emc_lint --rules           the rule catalog (IDs, severities)
 //   emc_lint --all [--json]    lint every figure (CI clean-bill gate)
 //   emc_lint <figure>... [--json]
+//   emc_lint ... --only W001,C001   keep only the listed rules
 //
 // Exit codes: 0 = everything checked and clean; 1 = findings at warning
 // severity or above; 2 = usage error or a selected figure has no lint
@@ -26,8 +27,25 @@ void print_usage() {
   std::printf(
       "emc_lint — static netlist analyzer (rules: emc_lint --rules)\n"
       "  emc_lint list\n"
-      "  emc_lint --all [--json]\n"
-      "  emc_lint <figure>... [--json]\n");
+      "  emc_lint --all [--json] [--only RULE,...]\n"
+      "  emc_lint <figure>... [--json] [--only RULE,...]\n"
+      "exit codes: 0 = everything checked and clean; 1 = active findings;\n"
+      "2 = usage error or a selected figure has no lint model\n");
+}
+
+std::vector<std::string> split_rules(const std::string& arg) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : arg) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
 }
 
 int print_rules() {
@@ -58,6 +76,7 @@ int list_figures() {
 int main(int argc, char** argv) {
   bool all = false;
   bool json = false;
+  std::vector<std::string> only;
   std::vector<std::string> names;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -67,6 +86,16 @@ int main(int argc, char** argv) {
       all = true;
     } else if (a == "--json") {
       json = true;
+    } else if (a == "--only") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "emc_lint: --only needs RULE[,RULE...]\n");
+        return 2;
+      }
+      only = split_rules(argv[++i]);
+      if (only.empty()) {
+        std::fprintf(stderr, "emc_lint: --only needs RULE[,RULE...]\n");
+        return 2;
+      }
     } else if (a == "--help" || a == "-h") {
       print_usage();
       return 0;
@@ -119,6 +148,7 @@ int main(int argc, char** argv) {
     }
     emc::lint::Session session;
     f->lint(session);
+    if (!only.empty()) session.filter_rules(only);
     const bool clean = session.clean();
     any_dirty |= !clean;
     if (json) {

@@ -1,0 +1,225 @@
+// emc_sta — static timing & margin analyzer over the reproduction
+// registry.
+//
+// Figures register one lint hook; this driver runs each hook against an
+// sta::Session, so the same circuit builders feed the timing pipeline
+// (rules T001/T002/T003 — see src/sta/sta.hpp) instead of the netlist
+// lint. Nothing is simulated: margins come from longest-path propagation
+// over the recorded timing arcs, swept across each circuit's declared
+// operating range at nominal and worst process corner.
+//
+//   emc_sta list                figures and whether they carry a model
+//   emc_sta --rules             the timing-rule catalog
+//   emc_sta --all [--json]      analyze every figure (CI timing gate)
+//   emc_sta <figure>... [--json]
+//   emc_sta ... --only T001,T003   keep only the listed rules
+//   emc_sta ... --csv FILE      append every margin-vs-Vdd curve to FILE
+//
+// Exit codes (the same contract as emc_lint):
+//   0  everything checked and timing-clean
+//   1  findings at warning severity or above
+//   2  usage error, a selected figure has no model, or a checked circuit
+//      records bundles with no timing arcs behind them (a vacuous timing
+//      model must not read as closure)
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+#include "repro/registry.hpp"
+#include "sta/session.hpp"
+
+namespace {
+
+void print_usage() {
+  std::printf(
+      "emc_sta — static timing & margin analyzer (rules: emc_sta --rules)\n"
+      "  emc_sta list\n"
+      "  emc_sta --all [--json] [--only RULE,...] [--csv FILE]\n"
+      "  emc_sta <figure>... [--json] [--only RULE,...] [--csv FILE]\n"
+      "exit codes: 0 = timing-clean; 1 = active findings; 2 = usage error,\n"
+      "missing model, or vacuous model (bundles without timing arcs)\n");
+}
+
+int print_rules() {
+  std::printf("rule  severity  summary\n");
+  for (const auto& r : emc::sta::rule_catalog()) {
+    std::printf("%-5s %-9s %s\n", r.id, emc::lint::to_string(r.severity),
+                r.summary);
+  }
+  std::printf(
+      "\nsuppression: Circuit::suppress(rule, subject, reason) at the build\n"
+      "site waives one finding; the reason is mandatory and appears in\n"
+      "reports. Informational findings never fail a run.\n");
+  return 0;
+}
+
+int list_figures() {
+  const auto figs = emc::repro::Registry::instance().figures();
+  std::printf("%zu registered figure(s):\n", figs.size());
+  for (const auto* f : figs) {
+    std::printf("  %-28s %s\n", f->name.c_str(),
+                f->lint != nullptr ? "[timing model]" : "(no timing model)");
+  }
+  return 0;
+}
+
+std::vector<std::string> split_rules(const std::string& arg) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : arg) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool all = false;
+  bool json = false;
+  std::vector<std::string> only;
+  std::string csv_path;
+  std::vector<std::string> names;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "list") return list_figures();
+    if (a == "--rules") return print_rules();
+    if (a == "--all") {
+      all = true;
+    } else if (a == "--json") {
+      json = true;
+    } else if (a == "--only") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "emc_sta: --only needs RULE[,RULE...]\n");
+        return 2;
+      }
+      only = split_rules(argv[++i]);
+      if (only.empty()) {
+        std::fprintf(stderr, "emc_sta: --only needs RULE[,RULE...]\n");
+        return 2;
+      }
+    } else if (a == "--csv") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "emc_sta: --csv needs a file path\n");
+        return 2;
+      }
+      csv_path = argv[++i];
+    } else if (a == "--help" || a == "-h") {
+      print_usage();
+      return 0;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "emc_sta: unknown flag %s\n", a.c_str());
+      print_usage();
+      return 2;
+    } else {
+      names.push_back(a);
+    }
+  }
+
+  std::vector<const emc::repro::Figure*> selected;
+  if (all) {
+    selected = emc::repro::Registry::instance().figures();
+  } else {
+    if (names.empty()) {
+      print_usage();
+      return 2;
+    }
+    for (const auto& n : names) {
+      const auto* f = emc::repro::Registry::instance().find(n);
+      if (f == nullptr) {
+        std::fprintf(stderr, "emc_sta: unknown figure \"%s\" (try list)\n",
+                     n.c_str());
+        return 2;
+      }
+      selected.push_back(f);
+    }
+  }
+  if (selected.empty()) {
+    std::fprintf(stderr, "emc_sta: nothing registered\n");
+    return 2;
+  }
+
+  std::ofstream csv;
+  if (!csv_path.empty()) {
+    csv.open(csv_path);
+    if (!csv) {
+      std::fprintf(stderr, "emc_sta: cannot write %s\n", csv_path.c_str());
+      return 2;
+    }
+    csv << "figure,circuit,bundle,vdd,corner,trigger_s,datapath_s,ratio,"
+           "limit,ok\n";
+  }
+
+  bool any_dirty = false;
+  bool any_missing = false;
+  bool any_vacuous = false;
+  std::string json_out = "{\"tool\":\"emc_sta\",\"figures\":[";
+  bool first = true;
+  for (const auto* f : selected) {
+    if (f->lint == nullptr) {
+      // Vacuous-pass refusal, same as emc_lint: a figure selected for
+      // timing analysis but carrying no model must not silently pass.
+      any_missing = true;
+      if (!json) {
+        std::printf("  [??] %-28s no timing model registered\n",
+                    f->name.c_str());
+      }
+      continue;
+    }
+    emc::sta::Session session;
+    f->lint(session);
+    if (!only.empty()) session.filter_rules(only);
+    const bool vacuous = session.vacuous();
+    const bool clean = session.clean() && !vacuous;
+    any_dirty |= !session.clean();
+    any_vacuous |= vacuous;
+    if (csv.is_open()) {
+      csv.precision(9);
+      for (const auto& [circuit, p] : session.margin_curve()) {
+        csv << f->name << "," << circuit << "," << p.bundle << "," << p.vdd
+            << "," << (p.corner ? 1 : 0) << "," << p.trigger_s << ","
+            << p.datapath_s << "," << p.ratio << "," << p.limit << ","
+            << (p.ok ? 1 : 0) << "\n";
+      }
+    }
+    if (json) {
+      if (!first) json_out += ",";
+      first = false;
+      json_out += "{\"figure\":\"" + f->name + "\",\"clean\":";
+      json_out += clean ? "true" : "false";
+      json_out += ",\"vacuous\":";
+      json_out += vacuous ? "true" : "false";
+      json_out +=
+          ",\"arcs\":" + std::to_string(session.arc_count()) +
+          ",\"subjects\":" + session.json() + "}";
+    } else {
+      std::printf(
+          "  [%s] %-28s %zu subject(s), %zu arc(s), %zu active finding(s)\n",
+          clean ? "ok" : "!!", f->name.c_str(), session.results().size(),
+          session.arc_count(),
+          session.findings(emc::lint::Severity::kWarning));
+      for (const auto& s : session.vacuous_subjects()) {
+        std::printf("       vacuous timing model: %s records bundles but no "
+                    "arcs reach them\n",
+                    s.c_str());
+      }
+      if (!clean || session.findings(emc::lint::Severity::kInfo) > 0) {
+        std::fputs(session.text().c_str(), stdout);
+      }
+    }
+  }
+  if (json) {
+    json_out += "]}";
+    std::printf("%s\n", json_out.c_str());
+  }
+  if (any_dirty) return 1;
+  return (any_missing || any_vacuous) ? 2 : 0;
+}
