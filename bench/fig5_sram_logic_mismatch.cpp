@@ -14,11 +14,13 @@
 #include <string>
 
 #include "analysis/aggregate.hpp"
+#include "analysis/csv.hpp"
 #include "analysis/sweep.hpp"
 #include "device/delay_model.hpp"
 #include "device/variation.hpp"
 #include "exp/workbench.hpp"
 #include "lint/session.hpp"
+#include "repro/partial.hpp"
 #include "repro/registry.hpp"
 #include "sram/bitline.hpp"
 #include "sram/cell.hpp"
@@ -31,6 +33,12 @@ constexpr double kVthSigma = 0.020;  // 20 mV local mismatch
 constexpr std::size_t kWordBits = 16;
 constexpr std::uint64_t kRulerId = 0;     // the reference inverter
 constexpr std::uint64_t kCellBaseId = 1;  // the addressed word's cells
+
+/// Shared trials -> band spec (streaming run + `emc_repro merge`).
+emc::analysis::Aggregate fig5_aggregate() {
+  return emc::analysis::Aggregate({"vdd_V"}).stats("sram_in_inverters");
+}
+
 }  // namespace
 
 static int run_fig5(const emc::repro::RunContext& ctx) {
@@ -42,13 +50,14 @@ static int run_fig5(const emc::repro::RunContext& ctx) {
   exp::Workbench wb("fig5_mismatch_trials");
   wb.threads(ctx.threads);
   wb.grid().over("vdd", analysis::vdd_grid());
-  wb.replicate(ctx.smoke() ? kSmokeTrials : kTrials, ctx.seed);
+  wb.replicate(ctx.trials_or(kTrials, kSmokeTrials), ctx.seed);
+  wb.shard(ctx.shard_index, ctx.shard_count);
   wb.columns({"vdd_V", "trial", "inv_delay_ps", "sram_read_ns",
               "sram_in_inverters"});
 
   const device::Variation variation = device::Variation::local(kVthSigma);
 
-  const auto& report = wb.run([&](const exp::ParamSet& p, exp::Recorder& rec) {
+  const auto body = [&](const exp::ParamSet& p, exp::Recorder& rec) {
     const double v = p.get<double>("vdd");
     const device::VariationSampler sampler(variation,
                                            p.get<std::uint64_t>("trial_seed"));
@@ -69,16 +78,38 @@ static int run_fig5(const emc::repro::RunContext& ctx) {
         .set("inv_delay_ps", d_inv * 1e12, 4)
         .set("sram_read_ns", d_sram * 1e9, 4)
         .set("sram_in_inverters", d_sram / d_inv, 4);
-  });
+  };
 
-  const analysis::Table agg = analysis::Aggregate({"vdd_V"})
-                                  .stats("sram_in_inverters")
-                                  .reduce(wb.table());
+  if (ctx.sharded()) {
+    repro::PartialWriter pw(
+        ctx.partial_path("fig5_sram_logic_mismatch"),
+        repro::make_partial_header(ctx, "fig5_sram_logic_mismatch",
+                                   wb.schema(), wb.total_scenarios()));
+    const auto& report = wb.run_streaming(
+        [&](std::size_t g, const std::vector<std::string>& cells) {
+          pw.row(g, cells);
+        },
+        body);
+    pw.finish(report.kernel_stats);
+    ctx.add_stats(report.kernel_stats);
+    return 0;
+  }
+
+  analysis::CsvStream trials_out("fig5_mismatch_trials.csv", wb.schema());
+  analysis::Aggregate::Sink agg_sink = fig5_aggregate().sink(wb.schema());
+  const auto& report = wb.run_streaming(
+      [&](std::size_t, const std::vector<std::string>& cells) {
+        trials_out.row(cells);
+        agg_sink.consume(cells);
+      },
+      body);
+  trials_out.close();
+
+  const analysis::Table agg = agg_sink.finish();
   agg.print();
 
   // The plot CSV: the MC band around the ratio curve.
   agg.write_csv("fig5_mismatch.csv");
-  wb.write_csv();  // raw trials
 
   device::DelayModel model{device::Tech::umc90()};
   analysis::print_anchor("SRAM read in inverters at 1.0 V", 50.0,
@@ -106,6 +137,8 @@ REPRO_FIGURE(fig5_sram_logic_mismatch)
     .title("Fig. 5 — SRAM read delay in inverter units vs Vdd (Monte-Carlo)")
     .ref_csv("fig5_mismatch.csv")
     .ref_csv("fig5_mismatch_trials.csv")
+    .shard_model("fig5_mismatch_trials.csv", "fig5_mismatch.csv",
+                 fig5_aggregate)
     .lint(lint_fig5)
     .seed(5)
     .smoke_mode()

@@ -22,11 +22,13 @@
 #include <string>
 
 #include "analysis/aggregate.hpp"
+#include "analysis/csv.hpp"
 #include "analysis/sweep.hpp"
 #include "device/delay_model.hpp"
 #include "device/variation.hpp"
 #include "exp/workbench.hpp"
 #include "lint/session.hpp"
+#include "repro/partial.hpp"
 #include "repro/registry.hpp"
 #include "sram/bitline.hpp"
 #include "sram/cell.hpp"
@@ -52,6 +54,16 @@ constexpr double kStrengthSigma = 0.05;
 constexpr std::uint64_t kLogicBaseId = 0;
 constexpr std::uint64_t kSramBaseId = 1000;
 
+/// The trials -> yield-curve reduction, registered in the shard model so
+/// the in-process streaming run and `emc_repro merge` share one spec.
+emc::analysis::Aggregate fig_mc_yield_aggregate() {
+  return emc::analysis::Aggregate({"vdd_V"})
+      .stats("path_ratio")
+      .yield("sram_ok")
+      .yield("logic_ok")
+      .yield("chip_ok");
+}
+
 }  // namespace
 
 static int run_fig_mc_yield(const emc::repro::RunContext& ctx) {
@@ -62,14 +74,15 @@ static int run_fig_mc_yield(const emc::repro::RunContext& ctx) {
   exp::Workbench wb("fig_mc_yield_trials");
   wb.threads(ctx.threads);
   wb.grid().over("vdd", analysis::vdd_grid());
-  wb.replicate(ctx.smoke() ? kSmokeTrials : kTrials, ctx.seed);
+  wb.replicate(ctx.trials_or(kTrials, kSmokeTrials), ctx.seed);
+  wb.shard(ctx.shard_index, ctx.shard_count);
   wb.columns({"vdd_V", "trial", "path_ratio", "worst_vth_mV", "sram_ok",
               "logic_ok", "chip_ok"});
 
   const device::Variation variation =
       device::Variation::local(kVthSigma, kStrengthSigma);
 
-  const auto& report = wb.run([&](const exp::ParamSet& p, exp::Recorder& rec) {
+  const auto body = [&](const exp::ParamSet& p, exp::Recorder& rec) {
     const double v = p.get<double>("vdd");
     const device::VariationSampler sampler(variation,
                                            p.get<std::uint64_t>("trial_seed"));
@@ -104,19 +117,41 @@ static int run_fig_mc_yield(const emc::repro::RunContext& ctx) {
         .set("sram_ok", sram_ok ? 1 : 0)
         .set("logic_ok", logic_ok ? 1 : 0)
         .set("chip_ok", (sram_ok && logic_ok) ? 1 : 0);
-  });
+  };
 
-  const analysis::Table agg = analysis::Aggregate({"vdd_V"})
-                                  .stats("path_ratio")
-                                  .yield("sram_ok")
-                                  .yield("logic_ok")
-                                  .yield("chip_ok")
-                                  .reduce(wb.table());
+  // A sharded run streams its slice of the trial axis into a partial
+  // file and stops — `emc_repro merge` reassembles the CSVs below.
+  if (ctx.sharded()) {
+    repro::PartialWriter pw(
+        ctx.partial_path("fig_mc_yield"),
+        repro::make_partial_header(ctx, "fig_mc_yield", wb.schema(),
+                                   wb.total_scenarios()));
+    const auto& report = wb.run_streaming(
+        [&](std::size_t g, const std::vector<std::string>& cells) {
+          pw.row(g, cells);
+        },
+        body);
+    pw.finish(report.kernel_stats);
+    ctx.add_stats(report.kernel_stats);
+    return 0;
+  }
+
+  // Streaming run: rows flow straight into the trial CSV and the yield
+  // accumulator as workers produce them — memory stays O(Vdd points),
+  // not O(trials), so --trials can scale to 10^6 virtual chips.
+  analysis::CsvStream trials_out("fig_mc_yield_trials.csv", wb.schema());
+  analysis::Aggregate::Sink agg_sink =
+      fig_mc_yield_aggregate().sink(wb.schema());
+  const auto& report = wb.run_streaming(
+      [&](std::size_t, const std::vector<std::string>& cells) {
+        trials_out.row(cells);
+        agg_sink.consume(cells);
+      },
+      body);
+  trials_out.close();
+
+  const analysis::Table agg = agg_sink.finish();
   agg.print();
-
-  // Raw trials (one row per virtual chip) and the aggregated yield
-  // curves; CI uploads the latter as the MC artifact.
-  wb.write_csv();
   agg.write_csv("fig_mc_yield.csv");
 
   std::printf(
@@ -139,6 +174,8 @@ REPRO_FIGURE(fig_mc_yield)
     .title("MC yield — SRAM + logic survival vs Vdd over 60 virtual chips")
     .ref_csv("fig_mc_yield.csv")
     .ref_csv("fig_mc_yield_trials.csv")
+    .shard_model("fig_mc_yield_trials.csv", "fig_mc_yield.csv",
+                 fig_mc_yield_aggregate)
     .lint(lint_fig_mc_yield)
     .seed(2026)
     .smoke_mode()

@@ -29,6 +29,7 @@
 #include <string>
 
 #include "analysis/aggregate.hpp"
+#include "analysis/csv.hpp"
 #include "analysis/sweep.hpp"
 #include "async/counter.hpp"
 #include "async/handshake.hpp"
@@ -36,6 +37,7 @@
 #include "fault/fault_plan.hpp"
 #include "lint/session.hpp"
 #include "netlist/module.hpp"
+#include "repro/partial.hpp"
 #include "repro/registry.hpp"
 
 namespace {
@@ -161,6 +163,14 @@ TrialOutcome run_trial(const std::string& kind, double dropout_hz,
   return out;
 }
 
+/// Shared trials -> aggregate spec (streaming run + `emc_repro merge`).
+analysis::Aggregate fig_survivability_aggregate() {
+  return analysis::Aggregate({"supply", "dropout_hz", "drop_us"})
+      .stats("qos_kops_s")
+      .stats("hs_done_pct")
+      .yield("survived");
+}
+
 }  // namespace
 
 static int run_fig_survivability(const emc::repro::RunContext& ctx) {
@@ -173,11 +183,12 @@ static int run_fig_survivability(const emc::repro::RunContext& ctx) {
       .over("supply", std::vector<std::string>{"battery", "ac", "harvested"})
       .over("dropout_hz", {0.0, 2e4, 1e5})
       .over("drop_us", {2.0, 10.0});
-  wb.replicate(ctx.smoke() ? kSmokeTrials : kTrials, ctx.seed);
+  wb.replicate(ctx.trials_or(kTrials, kSmokeTrials), ctx.seed);
+  wb.shard(ctx.shard_index, ctx.shard_count);
   wb.columns({"supply", "dropout_hz", "drop_us", "trial", "qos_kops_s",
               "qos_verdict", "hs_done_pct", "hs_verdict", "survived"});
 
-  const auto& report = wb.run([&](const exp::ParamSet& p, exp::Recorder& rec) {
+  const auto body = [&](const exp::ParamSet& p, exp::Recorder& rec) {
     const std::string kind = p.get<std::string>("supply");
     const double dropout_hz = p.get<double>("dropout_hz");
     const double drop_us = p.get<double>("drop_us");
@@ -193,17 +204,36 @@ static int run_fig_survivability(const emc::repro::RunContext& ctx) {
         .set("hs_verdict", o.hs_verdict)
         .set("survived", o.survived ? 1 : 0);
     rec.add_stats(o.stats);
-  });
+  };
 
-  const analysis::Table agg =
-      analysis::Aggregate({"supply", "dropout_hz", "drop_us"})
-          .stats("qos_kops_s")
-          .stats("hs_done_pct")
-          .yield("survived")
-          .reduce(wb.table());
+  if (ctx.sharded()) {
+    repro::PartialWriter pw(
+        ctx.partial_path("fig_survivability"),
+        repro::make_partial_header(ctx, "fig_survivability", wb.schema(),
+                                   wb.total_scenarios()));
+    const auto& report = wb.run_streaming(
+        [&](std::size_t g, const std::vector<std::string>& cells) {
+          pw.row(g, cells);
+        },
+        body);
+    pw.finish(report.kernel_stats);
+    ctx.add_stats(report.kernel_stats);
+    return 0;
+  }
+
+  analysis::CsvStream trials_out("fig_survivability_trials.csv", wb.schema());
+  analysis::Aggregate::Sink agg_sink =
+      fig_survivability_aggregate().sink(wb.schema());
+  const auto& report = wb.run_streaming(
+      [&](std::size_t, const std::vector<std::string>& cells) {
+        trials_out.row(cells);
+        agg_sink.consume(cells);
+      },
+      body);
+  trials_out.close();
+
+  const analysis::Table agg = agg_sink.finish();
   agg.print();
-
-  wb.write_csv();
   agg.write_csv("fig_survivability.csv");
 
   std::printf(
@@ -238,6 +268,8 @@ REPRO_FIGURE(fig_survivability)
     .title("Survivability — QoS + completion under brownout/fault streams")
     .ref_csv("fig_survivability.csv")
     .ref_csv("fig_survivability_trials.csv")
+    .shard_model("fig_survivability_trials.csv", "fig_survivability.csv",
+                 fig_survivability_aggregate)
     .seed(4242)
     .smoke_mode()
     .lint(lint_fig_survivability)

@@ -13,9 +13,11 @@
 #include <string>
 
 #include "analysis/aggregate.hpp"
+#include "analysis/csv.hpp"
 #include "device/variation.hpp"
 #include "exp/workbench.hpp"
 #include "lint/session.hpp"
+#include "repro/partial.hpp"
 #include "repro/registry.hpp"
 #include "sram/failure.hpp"
 #include "sram/si_controller.hpp"
@@ -25,6 +27,16 @@ constexpr std::size_t kTrials = 24;
 constexpr std::size_t kSmokeTrials = 4;
 constexpr double kVthSigma = 0.020;  // 20 mV local cell mismatch
 constexpr std::uint64_t kCellBaseId = 0;
+
+/// Shared trials -> distribution spec (streaming run + merge).
+emc::analysis::Aggregate tab_sram_corners_aggregate() {
+  return emc::analysis::Aggregate({"corner"})
+      .stats("min_read_V")
+      .stats("read@0.19V_us")
+      .stats("ratio@0.19V")
+      .precision(4);
+}
+
 }  // namespace
 
 static int run_tab_sram_corners(const emc::repro::RunContext& ctx) {
@@ -44,13 +56,14 @@ static int run_tab_sram_corners(const emc::repro::RunContext& ctx) {
     corner_names.push_back(name);
   }
   wb.grid().over("corner", corner_names);
-  wb.replicate(ctx.smoke() ? kSmokeTrials : kTrials, ctx.seed);
+  wb.replicate(ctx.trials_or(kTrials, kSmokeTrials), ctx.seed);
+  wb.shard(ctx.shard_index, ctx.shard_count);
   wb.columns({"corner", "trial", "min_read_V", "min_write_V", "retention_V",
               "read@1V_ns", "read@0.19V_us", "ratio@1V", "ratio@0.19V"});
 
   const device::Variation variation = device::Variation::local(kVthSigma);
 
-  const auto& report = wb.run([&](const exp::ParamSet& p, exp::Recorder& rec) {
+  const auto body = [&](const exp::ParamSet& p, exp::Recorder& rec) {
     const std::string corner = p.get<std::string>("corner");
     const device::VariationSampler sampler(variation,
                                            p.get<std::uint64_t>("trial_seed"));
@@ -93,17 +106,37 @@ static int run_tab_sram_corners(const emc::repro::RunContext& ctx) {
              bl.read_delay_seconds(0.19, worst) /
                  model.inverter_delay_seconds(0.19),
              4);
-  });
+  };
 
-  const analysis::Table agg = analysis::Aggregate({"corner"})
-                                  .stats("min_read_V")
-                                  .stats("read@0.19V_us")
-                                  .stats("ratio@0.19V")
-                                  .precision(4)
-                                  .reduce(wb.table());
+  if (ctx.sharded()) {
+    repro::PartialWriter pw(
+        ctx.partial_path("tab_sram_corners"),
+        repro::make_partial_header(ctx, "tab_sram_corners", wb.schema(),
+                                   wb.total_scenarios()));
+    const auto& report = wb.run_streaming(
+        [&](std::size_t g, const std::vector<std::string>& cells) {
+          pw.row(g, cells);
+        },
+        body);
+    pw.finish(report.kernel_stats);
+    ctx.add_stats(report.kernel_stats);
+    return 0;
+  }
+
+  analysis::CsvStream trials_out("tab_sram_corners_trials.csv", wb.schema());
+  analysis::Aggregate::Sink agg_sink =
+      tab_sram_corners_aggregate().sink(wb.schema());
+  const auto& report = wb.run_streaming(
+      [&](std::size_t, const std::vector<std::string>& cells) {
+        trials_out.row(cells);
+        agg_sink.consume(cells);
+      },
+      body);
+  trials_out.close();
+
+  const analysis::Table agg = agg_sink.finish();
   agg.print();
   agg.write_csv("tab_sram_corners.csv");
-  wb.write_csv();  // raw (corner, trial) rows
 
   std::printf(
       "\nThe SI controller needs no corner-specific timing: completion "
@@ -125,6 +158,8 @@ REPRO_FIGURE(tab_sram_corners)
     .title("Table [8] — SRAM corner + mismatch distributions (Monte-Carlo)")
     .ref_csv("tab_sram_corners.csv")
     .ref_csv("tab_sram_corners_trials.csv")
+    .shard_model("tab_sram_corners_trials.csv", "tab_sram_corners.csv",
+                 tab_sram_corners_aggregate)
     .seed(8)
     .smoke_mode()
     .lint(lint_tab_sram_corners)

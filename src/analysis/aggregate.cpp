@@ -2,20 +2,19 @@
 
 #include <cstdlib>
 #include <stdexcept>
-
-#include "analysis/stats.hpp"
+#include <utility>
 
 namespace emc::analysis {
 
 namespace {
 
-std::size_t column_index(const Table& t, const std::string& name) {
-  const auto& h = t.headers();
-  for (std::size_t i = 0; i < h.size(); ++i) {
-    if (h[i] == name) return i;
+std::size_t column_index(const std::vector<std::string>& headers,
+                         const std::string& name) {
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    if (headers[i] == name) return i;
   }
   throw std::invalid_argument("Aggregate: column \"" + name +
-                              "\" not in the input table");
+                              "\" not in the input schema");
 }
 
 bool parse_cell(const std::string& cell, double* out) {
@@ -47,64 +46,62 @@ Aggregate& Aggregate::precision(int digits) {
   return *this;
 }
 
-Table Aggregate::reduce(const Table& in) const {
-  std::vector<std::size_t> key_idx;
-  for (const auto& c : group_by_) key_idx.push_back(column_index(in, c));
-  std::vector<std::size_t> stat_idx;
-  for (const auto& c : stats_cols_) stat_idx.push_back(column_index(in, c));
-  std::vector<std::size_t> yield_idx;
-  for (const auto& c : yield_cols_) yield_idx.push_back(column_index(in, c));
+Aggregate& Aggregate::exact_threshold(std::size_t rows) {
+  exact_threshold_ = rows;
+  return *this;
+}
 
-  struct Group {
-    std::vector<std::string> key_cells;
-    std::size_t rows = 0;
-    std::vector<std::vector<double>> stat_samples;   // per stats column
-    std::vector<std::uint64_t> yield_pass;           // per yield column
-    std::vector<std::uint64_t> yield_total;
-  };
+Aggregate::Sink::Sink(const Aggregate& spec,
+                      const std::vector<std::string>& headers)
+    : group_by_(spec.group_by_),
+      stats_cols_(spec.stats_cols_),
+      yield_cols_(spec.yield_cols_),
+      precision_(spec.precision_),
+      exact_threshold_(spec.exact_threshold_) {
+  for (const auto& c : group_by_) key_idx_.push_back(column_index(headers, c));
+  for (const auto& c : stats_cols_) {
+    stat_idx_.push_back(column_index(headers, c));
+  }
+  for (const auto& c : yield_cols_) {
+    yield_idx_.push_back(column_index(headers, c));
+  }
+}
 
-  // First-appearance group order: a linear key scan is plenty for the
-  // few hundred groups a figure sweep produces and keeps the reduction
-  // deterministic without ordering assumptions on the input.
-  std::vector<Group> groups;
-  for (std::size_t r = 0; r < in.row_count(); ++r) {
-    const auto& row = in.row(r);
-    Group* g = nullptr;
-    for (auto& cand : groups) {
-      bool match = true;
-      for (std::size_t k = 0; k < key_idx.size(); ++k) {
-        if (cand.key_cells[k] != row[key_idx[k]]) {
-          match = false;
-          break;
-        }
-      }
-      if (match) {
-        g = &cand;
-        break;
-      }
-    }
-    if (g == nullptr) {
-      groups.emplace_back();
-      g = &groups.back();
-      for (std::size_t k : key_idx) g->key_cells.push_back(row[k]);
-      g->stat_samples.resize(stat_idx.size());
-      g->yield_pass.assign(yield_idx.size(), 0);
-      g->yield_total.assign(yield_idx.size(), 0);
-    }
-    ++g->rows;
-    for (std::size_t s = 0; s < stat_idx.size(); ++s) {
-      double v;
-      if (parse_cell(row[stat_idx[s]], &v)) g->stat_samples[s].push_back(v);
-    }
-    for (std::size_t y = 0; y < yield_idx.size(); ++y) {
-      double v;
-      if (parse_cell(row[yield_idx[y]], &v)) {
-        ++g->yield_total[y];
-        if (v != 0.0) ++g->yield_pass[y];
-      }
-    }
+void Aggregate::Sink::consume(const std::vector<std::string>& cells) {
+  // Group lookup: joined key (cells never carry control characters, so
+  // the 0x1f join is injective) into a map of first-appearance indices —
+  // O(1) per row where the historical reduce() scanned linearly.
+  std::string key;
+  for (std::size_t k : key_idx_) {
+    key += cells[k];
+    key += '\x1f';
+  }
+  auto it = group_index_.find(key);
+  Group* g;
+  if (it == group_index_.end()) {
+    group_index_.emplace(std::move(key), groups_.size());
+    groups_.emplace_back();
+    g = &groups_.back();
+    for (std::size_t k : key_idx_) g->key_cells.push_back(cells[k]);
+    g->stats.assign(stat_idx_.size(), StatsAccumulator(exact_threshold_));
+    g->yields.assign(yield_idx_.size(), YieldCounter());
+  } else {
+    g = &groups_[it->second];
   }
 
+  ++rows_;
+  ++g->rows;
+  for (std::size_t s = 0; s < stat_idx_.size(); ++s) {
+    double v;
+    if (parse_cell(cells[stat_idx_[s]], &v)) g->stats[s].add(v);
+  }
+  for (std::size_t y = 0; y < yield_idx_.size(); ++y) {
+    double v;
+    if (parse_cell(cells[yield_idx_[y]], &v)) g->yields[y].add(v != 0.0);
+  }
+}
+
+Table Aggregate::Sink::finish() const {
   std::vector<std::string> headers = group_by_;
   headers.push_back("trials");
   for (const auto& c : stats_cols_) {
@@ -117,32 +114,37 @@ Table Aggregate::reduce(const Table& in) const {
   for (const auto& c : yield_cols_) headers.push_back(c + "_yield");
 
   Table out(std::move(headers));
-  for (const auto& g : groups) {
+  for (const auto& g : groups_) {
     std::vector<std::string> row = g.key_cells;
     row.push_back(std::to_string(g.rows));
-    for (const auto& samples : g.stat_samples) {
-      if (samples.empty()) {
+    for (const auto& acc : g.stats) {
+      if (acc.count() == 0) {
         for (int i = 0; i < 5; ++i) row.emplace_back("-");
         continue;
       }
-      Accumulator acc;
-      for (double v : samples) acc.add(v);
       row.push_back(Table::num(acc.mean(), precision_));
       row.push_back(Table::num(acc.stddev(), precision_));
-      row.push_back(Table::num(percentile(samples, 5.0), precision_));
-      row.push_back(Table::num(percentile(samples, 50.0), precision_));
-      row.push_back(Table::num(percentile(samples, 95.0), precision_));
+      row.push_back(Table::num(acc.p5(), precision_));
+      row.push_back(Table::num(acc.p50(), precision_));
+      row.push_back(Table::num(acc.p95(), precision_));
     }
-    for (std::size_t y = 0; y < g.yield_pass.size(); ++y) {
-      row.push_back(g.yield_total[y] == 0
-                        ? std::string("-")
-                        : Table::num(static_cast<double>(g.yield_pass[y]) /
-                                         static_cast<double>(g.yield_total[y]),
-                                     precision_));
+    for (const auto& yc : g.yields) {
+      row.push_back(yc.total() == 0 ? std::string("-")
+                                    : Table::num(yc.fraction(), precision_));
     }
     out.add_row(std::move(row));
   }
   return out;
+}
+
+Aggregate::Sink Aggregate::sink(const std::vector<std::string>& headers) const {
+  return Sink(*this, headers);
+}
+
+Table Aggregate::reduce(const Table& in) const {
+  Sink s = sink(in.headers());
+  for (std::size_t r = 0; r < in.row_count(); ++r) s.consume(in.row(r));
+  return s.finish();
 }
 
 }  // namespace emc::analysis

@@ -5,24 +5,46 @@
 // point: group rows by the key columns, then report each value column's
 // distribution (mean / stddev / p5 / p50 / p95) and each pass-fail
 // column's yield (fraction of trials with a non-zero value). Groups keep
-// first-appearance order, so a deterministic input table reduces to a
+// first-appearance order, so a deterministic input reduces to a
 // deterministic output table — the aggregate CSV inherits the sweep's
 // byte-identical-at-any-thread-count contract.
+//
+// Two consumption modes over the same accumulators:
+//
+//   * streaming — `sink(headers)` binds the column schema once and
+//     returns a Sink that consumes rows as the sweep produces them
+//     (exp::Workbench::run_streaming feeds it from the worker callback).
+//     Memory is O(groups): per group a hybrid StatsAccumulator per
+//     stats column (exact sample retention up to exact_threshold(),
+//     then Welford + P² spill — see analysis/accumulator.hpp) plus a
+//     YieldCounter per yield column. A million-trial run never holds a
+//     million rows.
+//   * materialized — `reduce(Table)` stays as a thin wrapper: it opens a
+//     sink on the table's headers, feeds every row, and finishes.
 //
 //   auto agg = analysis::Aggregate({"vdd_V"})
 //                  .stats("ratio")
 //                  .yield("read_ok");
-//   analysis::Table out = agg.reduce(wb.table());
+//   auto sink = agg.sink(schema);        // streaming
+//   sink.consume(cells);                 // ... once per row ...
+//   analysis::Table out = sink.finish();
 //   // columns: vdd_V, trials, ratio_mean, ratio_stddev, ratio_p5,
 //   //          ratio_p50, ratio_p95, read_ok_yield
 //
-// Cells that fail to parse as numbers (the "-" placeholder) are skipped;
-// a group whose value column has no parsable cells reports "-".
+// Below exact_threshold() rows per group (default 4096 — far above
+// every recorded figure's trial count) the reduction is byte-identical
+// to the historical sort-based implementation, so existing aggregate
+// reference CSVs are unchanged. Cells that fail to parse as numbers
+// (the "-" placeholder) are skipped; a group whose value column has no
+// parsable cells reports "-".
 #pragma once
 
+#include <cstddef>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "analysis/accumulator.hpp"
 #include "analysis/table.hpp"
 
 namespace emc::analysis {
@@ -42,7 +64,55 @@ class Aggregate {
   /// Output precision for the reduced numeric cells (Table::num digits).
   Aggregate& precision(int digits);
 
-  /// Reduce `in` (one row per trial) to one row per group. Throws
+  /// Per-group row count up to which quantiles use the exact sort-based
+  /// path (byte-identical to the historical reduction); beyond it a
+  /// group's stats spill to O(1)-memory Welford + P² estimators.
+  Aggregate& exact_threshold(std::size_t rows);
+
+  /// Streaming consumer bound to one input schema. Copies the spec, so
+  /// it stays valid after the Aggregate it came from is gone.
+  class Sink {
+   public:
+    /// Fold one row (cells in the bound schema's order) into its group.
+    void consume(const std::vector<std::string>& cells);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t groups() const { return groups_.size(); }
+
+    /// The reduced table (groups in first-appearance order). The sink
+    /// stays usable — finish() can be called repeatedly as a snapshot.
+    Table finish() const;
+
+   private:
+    friend class Aggregate;
+    Sink(const Aggregate& spec, const std::vector<std::string>& headers);
+
+    struct Group {
+      std::vector<std::string> key_cells;
+      std::size_t rows = 0;
+      std::vector<StatsAccumulator> stats;  // per stats column
+      std::vector<YieldCounter> yields;     // per yield column
+    };
+
+    std::vector<std::string> group_by_;
+    std::vector<std::string> stats_cols_;
+    std::vector<std::string> yield_cols_;
+    int precision_;
+    std::size_t exact_threshold_;
+    std::vector<std::size_t> key_idx_;
+    std::vector<std::size_t> stat_idx_;
+    std::vector<std::size_t> yield_idx_;
+    std::size_t rows_ = 0;
+    std::vector<Group> groups_;  // first-appearance order
+    std::unordered_map<std::string, std::size_t> group_index_;
+  };
+
+  /// Open a streaming sink over `headers` (the producer's row schema).
+  /// Throws std::invalid_argument when a named column is missing.
+  Sink sink(const std::vector<std::string>& headers) const;
+
+  /// Reduce `in` (one row per trial) to one row per group — a thin
+  /// wrapper over sink(): bind, feed every row, finish. Throws
   /// std::invalid_argument when a named column is missing from `in`.
   Table reduce(const Table& in) const;
 
@@ -51,6 +121,7 @@ class Aggregate {
   std::vector<std::string> stats_cols_;
   std::vector<std::string> yield_cols_;
   int precision_ = 4;
+  std::size_t exact_threshold_ = StatsAccumulator::kDefaultExactThreshold;
 };
 
 }  // namespace emc::analysis

@@ -1,8 +1,53 @@
 #include "analysis/csv.hpp"
 
+#include <cstdio>
 #include <fstream>
 
 namespace emc::analysis {
+
+namespace {
+
+void write_joined(std::ofstream& out, const std::vector<std::string>& cells) {
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (c > 0) out << ',';
+    out << cells[c];
+  }
+  out << '\n';
+}
+
+}  // namespace
+
+CsvStream::CsvStream(const std::string& path,
+                     const std::vector<std::string>& headers)
+    : path_(path), out_(path) {
+  if (!out_) {
+    failed_ = true;
+    return;
+  }
+  write_joined(out_, headers);
+}
+
+void CsvStream::row(const std::vector<std::string>& cells) {
+  if (failed_ || closed_) return;
+  write_joined(out_, cells);
+  ++rows_;
+  if (!out_) failed_ = true;
+}
+
+bool CsvStream::close() {
+  if (closed_) return !failed_;
+  closed_ = true;
+  if (!failed_) {
+    out_.close();
+    failed_ = !out_;
+  }
+  if (failed_) {
+    std::fprintf(stderr, "warning: could not write %s\n", path_.c_str());
+  }
+  return !failed_;
+}
+
+CsvStream::~CsvStream() { close(); }
 
 void CsvWriter::add_row(const std::vector<double>& values) {
   rows_.push_back(values);

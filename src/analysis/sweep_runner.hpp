@@ -146,6 +146,33 @@ class SweepRunner {
       const std::function<void(std::size_t, unsigned)>& fn,
       std::size_t chunk = 1);
 
+  /// The streaming building block: `produce(i)` runs on the worker pool
+  /// while `consume(i, output)` runs on the *calling* thread, in strict
+  /// index order, as results become available. In-flight outputs are
+  /// bounded (a reorder window of max(threads*chunk*4, 64) entries with
+  /// backpressure on the producers), so a million-index stream holds
+  /// O(threads) outputs instead of O(n) — the memory contract behind
+  /// exp::Workbench::run_streaming.
+  ///
+  /// Determinism: consume sees exactly the serial order at any thread
+  /// count. Error semantics match for_indexed: a produce() exception is
+  /// recorded, that index is skipped by consume, every other index still
+  /// runs, and the lowest-index exception is rethrown at the end. A
+  /// consume() exception aborts the stream and propagates immediately.
+  static void for_indexed_streaming(
+      std::size_t n, unsigned threads,
+      const std::function<ScenarioOutput(std::size_t)>& produce,
+      const std::function<void(std::size_t, ScenarioOutput&&)>& consume,
+      std::size_t chunk = 1);
+
+  /// run()'s streaming sibling: `produce` is the scenario body; each
+  /// output's rows are handed to `consume` in scenario order and then
+  /// dropped — the report's table carries headers only (kernel stats
+  /// and timing are still aggregated).
+  SweepReport run_streaming(
+      std::size_t n, const std::function<ScenarioOutput(std::size_t)>& produce,
+      const std::function<void(std::size_t, ScenarioOutput&&)>& consume) const;
+
  private:
   std::vector<std::string> headers_;
   Options opt_;

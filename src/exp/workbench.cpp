@@ -175,23 +175,48 @@ Workbench& Workbench::replicate(std::size_t n_trials, std::uint64_t base_seed) {
   return *this;
 }
 
+Workbench& Workbench::shard(std::size_t index, std::size_t count) {
+  if (count == 0) {
+    throw std::invalid_argument("Workbench::shard: count must be >= 1");
+  }
+  if (index >= count) {
+    throw std::invalid_argument("Workbench::shard: index " +
+                                std::to_string(index) + " out of range for " +
+                                std::to_string(count) + " shard(s)");
+  }
+  shard_index_ = index;
+  shard_count_ = count;
+  return *this;
+}
+
+std::size_t Workbench::total_scenarios() const {
+  const std::size_t points =
+      explicit_scenarios_ ? explicit_params_.size() : grid_.size();
+  return points * trials_;
+}
+
 std::vector<analysis::Scenario> Workbench::materialize_scenarios() {
   params_ = explicit_scenarios_ ? explicit_params_ : grid_.build();
 
-  if (trials_ > 1) {
+  if (trials_ > 1 || shard_count_ > 1) {
     // Expand the trial axis (fastest): every grid point becomes
     // `trials_` adjacent scenarios carrying their trial index and the
     // derived per-trial seed. Seeds depend on (base_seed, trial) only,
-    // so trial t is the same virtual chip at every grid point.
+    // so trial t is the same virtual chip at every grid point. Under
+    // shard(), only trials with t % shard_count == shard_index survive
+    // — a pure function of (trials, shard spec), never of threads.
     std::vector<ParamSet> expanded;
     expanded.reserve(params_.size() * trials_);
     for (const auto& p : params_) {
       for (std::size_t t = 0; t < trials_; ++t) {
+        if (t % shard_count_ != shard_index_) continue;
         ParamSet q = p;
-        q.set("trial", static_cast<std::int64_t>(t));
-        // Masked to the positive int64 range ParamSet integers live in.
-        q.set("trial_seed",
-              static_cast<std::int64_t>(sim::derive_seed(base_seed_, t) >> 1));
+        if (trials_ > 1) {
+          q.set("trial", static_cast<std::int64_t>(t));
+          // Masked to the positive int64 range ParamSet integers live in.
+          q.set("trial_seed", static_cast<std::int64_t>(
+                                  sim::derive_seed(base_seed_, t) >> 1));
+        }
         expanded.push_back(std::move(q));
       }
     }
@@ -242,6 +267,55 @@ const analysis::SweepReport& Workbench::run_reusing(const ConfigOf& config_of,
         }
         body(*stack, params_[i], rec);
         return std::move(rec.output_);
+      });
+  return report_;
+}
+
+const analysis::SweepReport& Workbench::run_streaming(const RowSink& sink,
+                                                      const Body& body) {
+  // Lazy enumeration: grid points are materialized (a handful), but the
+  // (point, trial) product never is — each scenario's ParamSet is built
+  // inside produce() and dies with it. params_ stays empty by design
+  // (the run_streaming deprecation contract for scenario_params()).
+  const std::vector<ParamSet> points =
+      explicit_scenarios_ ? explicit_params_ : grid_.build();
+  params_.clear();
+
+  // Trials owned by this shard: t = shard_index + k * shard_count < trials.
+  const std::size_t m =
+      trials_ > shard_index_
+          ? (trials_ - shard_index_ + shard_count_ - 1) / shard_count_
+          : 0;
+  const std::size_t local_n = points.size() * m;
+
+  // local index l -> (point p, k-th owned trial) -> global scenario
+  // index p * trials + t, the unsharded row order merges reconstruct.
+  const auto global_of = [&](std::size_t l) {
+    const std::size_t p = l / m;
+    const std::size_t t = shard_index_ + (l % m) * shard_count_;
+    return p * trials_ + t;
+  };
+
+  analysis::SweepRunner runner(columns_, opt_);
+  report_ = runner.run_streaming(
+      local_n,
+      [&](std::size_t l) {
+        const std::size_t p = l / m;
+        const std::size_t t = shard_index_ + (l % m) * shard_count_;
+        ParamSet q = points[p];
+        if (trials_ > 1) {
+          q.set("trial", static_cast<std::int64_t>(t));
+          q.set("trial_seed", static_cast<std::int64_t>(
+                                  sim::derive_seed(base_seed_, t) >> 1));
+        }
+        const std::string label = q.label();
+        Recorder rec(&columns_, global_of(l), &label);
+        body(q, rec);
+        return std::move(rec.output_);
+      },
+      [&](std::size_t l, analysis::ScenarioOutput&& out) {
+        const std::size_t g = global_of(l);
+        for (const auto& row : out.rows) sink(g, row);
       });
   return report_;
 }

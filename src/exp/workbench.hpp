@@ -178,6 +178,24 @@ class Workbench {
   /// Replication factor (1 = no replication).
   std::size_t trials() const { return trials_; }
 
+  /// Restrict the run to one shard of the trial axis: trial t belongs
+  /// to shard (t % count). The partition is pure in (trials, count) —
+  /// independent of thread count, queue structure and grid shape — so a
+  /// merge of all shards' rows in global scenario order is
+  /// byte-identical to the unsharded run (the emc_repro --shard/merge
+  /// protocol). shard(0, 1) is the default unsharded run. Throws
+  /// std::invalid_argument on count == 0 or index >= count.
+  Workbench& shard(std::size_t index, std::size_t count);
+  std::size_t shard_index() const { return shard_index_; }
+  std::size_t shard_count() const { return shard_count_; }
+
+  /// Scenario count of the *unsharded* run (grid points x trials) —
+  /// the global index space shard partials are recorded in.
+  std::size_t total_scenarios() const;
+
+  /// The column schema (what sink rows are ordered by).
+  const std::vector<std::string>& schema() const { return columns_; }
+
   /// Worker-thread override (0 = EMC_SWEEP_THREADS / hardware, the
   /// SweepRunner default).
   Workbench& threads(unsigned n);
@@ -211,6 +229,30 @@ class Workbench {
   const analysis::SweepReport& run_reusing(const ConfigOf& config_of,
                                            const ReuseBody& body);
 
+  /// Row sink for run_streaming: receives each produced row (cells in
+  /// schema order) tagged with its *global* scenario index — the index
+  /// the row would have in the unsharded run, which is what the shard
+  /// partial format records and the merge step orders by.
+  using RowSink =
+      std::function<void(std::size_t, const std::vector<std::string>&)>;
+
+  /// run() without materializing anything: scenarios are enumerated
+  /// lazily (no params_ expansion — one ParamSet exists per in-flight
+  /// scenario), bodies run on the worker pool, and every produced row is
+  /// handed to `sink` on the calling thread in scenario order, then
+  /// dropped. Memory is O(threads + sink state) instead of O(rows): the
+  /// path that makes 10^6-trial replicated runs possible. The returned
+  /// report carries scenario count, threads, wall time and kernel stats;
+  /// its table has headers but NO rows — table()/scenario_params() are
+  /// deprecated for streaming runs (they reflect materialized runs
+  /// only) and replicated benches should migrate to this entry point
+  /// with an analysis::Aggregate::Sink / analysis::CsvStream sink.
+  ///
+  /// Honors shard(): only this shard's trials run; global indices still
+  /// refer to the unsharded index space.
+  const analysis::SweepReport& run_streaming(const RowSink& sink,
+                                             const Body& body);
+
   const std::string& name() const { return name_; }
   const std::vector<ParamSet>& scenario_params() const { return params_; }
   const analysis::SweepReport& report() const { return report_; }
@@ -234,6 +276,8 @@ class Workbench {
   std::vector<std::string> columns_;
   std::size_t trials_ = 1;
   std::uint64_t base_seed_ = 0;
+  std::size_t shard_index_ = 0;
+  std::size_t shard_count_ = 1;
   analysis::SweepRunner::Options opt_;
   analysis::SweepReport report_;
 };

@@ -1,0 +1,230 @@
+#include "repro/cache.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "repro/sha256.hpp"
+
+namespace emc::repro {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool read_whole_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return static_cast<bool>(in);
+}
+
+/// Atomic-enough publish: write to <path>.tmp.<pid>, then rename. A
+/// reader never observes a half-written entry or object.
+bool write_file_atomic(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary);
+    if (!out) return false;
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.close();
+    if (!out) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+struct EntryLine {
+  std::string sha;
+  std::uint64_t bytes = 0;
+  std::string file;
+};
+
+bool parse_entry(const std::string& text, std::vector<EntryLine>* out) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tag;
+    EntryLine e;
+    if (!(ls >> tag >> e.sha >> e.bytes) || tag != "artifact") return false;
+    // Filenames may contain spaces; take the rest of the line verbatim.
+    std::getline(ls, e.file);
+    if (!e.file.empty() && e.file.front() == ' ') e.file.erase(0, 1);
+    if (e.file.empty() || e.sha.size() != 64) return false;
+    out->push_back(std::move(e));
+  }
+  return !out->empty();
+}
+
+}  // namespace
+
+const std::string& cache_code_version() {
+  static const std::string version = [] {
+    if (const char* env = std::getenv("EMC_CACHE_CODE_VERSION");
+        env != nullptr && *env != '\0') {
+      return std::string(env);
+    }
+    std::string self = sha256_file_hex("/proc/self/exe");
+    return self.empty() ? std::string("unversioned") : self;
+  }();
+  return version;
+}
+
+std::string CacheKey::canonical() const {
+  std::string out;
+  out += "figure " + figure + "\n";
+  out += "seed " + std::to_string(seed) + "\n";
+  out += "mode " + std::string(smoke ? "smoke" : "full") + "\n";
+  out += "trials_override " + std::to_string(trials_override) + "\n";
+  out += "shard " + std::to_string(shard_index) + "/" +
+         std::to_string(shard_count) + "\n";
+  out += "sharded " + std::string(sharded ? "1" : "0") + "\n";
+  out += "code_version " + code_version + "\n";
+  for (const auto& a : artifacts) out += "artifact " + a + "\n";
+  return out;
+}
+
+std::string CacheKey::hash() const { return sha256_hex(canonical()); }
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_ + "/entries", ec);
+  fs::create_directories(dir_ + "/objects", ec);
+}
+
+std::string ResultCache::entry_path(const std::string& keyhash) const {
+  return dir_ + "/entries/" + keyhash;
+}
+
+std::string ResultCache::object_path(const std::string& sha) const {
+  return dir_ + "/objects/" + sha;
+}
+
+bool ResultCache::restore(const CacheKey& key) {
+  const std::string epath = entry_path(key.hash());
+  std::string text;
+  if (!read_whole_file(epath, &text)) return false;
+  std::vector<EntryLine> lines;
+  if (!parse_entry(text, &lines)) return false;
+
+  // Verify every object exists before touching the working directory —
+  // a half-restored artifact set must never look like a hit.
+  for (const auto& e : lines) {
+    std::error_code ec;
+    if (!fs::exists(object_path(e.sha), ec)) return false;
+  }
+  for (const auto& e : lines) {
+    std::string bytes;
+    if (!read_whole_file(object_path(e.sha), &bytes)) return false;
+    const fs::path dest(e.file);
+    if (dest.has_parent_path()) {
+      std::error_code ec;
+      fs::create_directories(dest.parent_path(), ec);
+    }
+    std::ofstream out(e.file, std::ios::binary);
+    if (!out) return false;
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.close();
+    if (!out) return false;
+  }
+
+  // Recency touch for prune(): re-publish the entry, refreshing mtime.
+  write_file_atomic(epath, text);
+  return true;
+}
+
+bool ResultCache::store(const CacheKey& key,
+                        const std::vector<std::string>& paths) {
+  std::string entry;
+  for (const auto& p : paths) {
+    std::string bytes;
+    if (!read_whole_file(p, &bytes)) return false;
+    const std::string sha = sha256_hex(bytes);
+    const std::string opath = object_path(sha);
+    std::error_code ec;
+    if (!fs::exists(opath, ec)) {
+      if (!write_file_atomic(opath, bytes)) return false;
+    }
+    entry += "artifact " + sha + " " + std::to_string(bytes.size()) + " " + p +
+             "\n";
+  }
+  // Objects land before the entry that references them, so a crash
+  // between the two leaves an orphan object (GC'd by prune), never a
+  // dangling entry.
+  return write_file_atomic(entry_path(key.hash()), entry);
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  Stats s;
+  std::error_code ec;
+  for (const auto& de : fs::directory_iterator(dir_ + "/entries", ec)) {
+    if (de.is_regular_file()) ++s.entries;
+  }
+  for (const auto& de : fs::directory_iterator(dir_ + "/objects", ec)) {
+    if (de.is_regular_file()) {
+      ++s.objects;
+      s.object_bytes += de.file_size();
+    }
+  }
+  return s;
+}
+
+std::size_t ResultCache::prune(std::size_t keep) {
+  struct Entry {
+    fs::path path;
+    fs::file_time_type mtime;
+  };
+  std::vector<Entry> entries;
+  std::error_code ec;
+  for (const auto& de : fs::directory_iterator(dir_ + "/entries", ec)) {
+    if (!de.is_regular_file()) continue;
+    entries.push_back({de.path(), de.last_write_time()});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.mtime > b.mtime; });
+
+  std::size_t removed = 0;
+  for (std::size_t i = keep; i < entries.size(); ++i) {
+    fs::remove(entries[i].path, ec);
+    ++removed;
+  }
+
+  // GC: collect the objects the surviving entries still reference, drop
+  // the rest (including orphans from crashed stores).
+  std::vector<std::string> live;
+  const std::size_t survivors = std::min(keep, entries.size());
+  for (std::size_t i = 0; i < survivors; ++i) {
+    std::string text;
+    if (!read_whole_file(entries[i].path.string(), &text)) continue;
+    std::vector<EntryLine> lines;
+    if (!parse_entry(text, &lines)) continue;
+    for (const auto& e : lines) live.push_back(e.sha);
+  }
+  std::sort(live.begin(), live.end());
+  for (const auto& de : fs::directory_iterator(dir_ + "/objects", ec)) {
+    if (!de.is_regular_file()) continue;
+    const std::string name = de.path().filename().string();
+    if (!std::binary_search(live.begin(), live.end(), name)) {
+      fs::remove(de.path(), ec);
+    }
+  }
+  return removed;
+}
+
+}  // namespace emc::repro

@@ -1,0 +1,97 @@
+// Content-addressed result cache for emc_repro runs.
+//
+// Reproduction figures are pure functions of (code, figure, seed, mode,
+// trial override, shard spec): re-running one with the same inputs
+// re-derives byte-identical artifacts. The cache exploits that — a run
+// with `--cache DIR` first looks its key up and, on a hit, restores the
+// stored artifacts instead of simulating.
+//
+// Layout under the cache directory:
+//
+//   entries/<keyhash>        one line per artifact:
+//                            "artifact <sha256> <bytes> <filename>"
+//   objects/<sha256>         artifact bytes, content-addressed
+//
+// The key hash is sha256 over the canonical key text (see
+// CacheKey::canonical()) which includes a code version — by default the
+// digest of the running executable, so a rebuild naturally invalidates
+// every entry without any eviction logic. Objects are shared across
+// entries; `prune` drops the oldest entries (by mtime; hits touch their
+// entry) and then garbage-collects unreferenced objects.
+//
+// Writes go through a temp-file + rename, so a crashed run can leave
+// garbage temp files but never a truncated entry or object.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace emc::repro {
+
+/// The code identity baked into every cache key: the
+/// EMC_CACHE_CODE_VERSION environment variable when set (tests and CI
+/// pin it), otherwise the sha256 of the running executable
+/// (/proc/self/exe), otherwise "unversioned". Computed once per process.
+const std::string& cache_code_version();
+
+/// Everything a figure run's artifacts are a pure function of.
+struct CacheKey {
+  std::string figure;
+  std::uint64_t seed = 0;
+  bool smoke = false;
+  std::uint64_t trials_override = 0;
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  bool sharded = false;  // partial-writing run (different artifact set)
+  std::string code_version;
+  /// The artifact filenames the run produces, in registry order — part
+  /// of the key so a figure that grows an artifact misses cleanly.
+  std::vector<std::string> artifacts;
+
+  /// Canonical one-field-per-line text the key hash digests.
+  std::string canonical() const;
+
+  /// sha256 of canonical() — the entry filename.
+  std::string hash() const;
+};
+
+/// Handle on one cache directory (created on construction).
+class ResultCache {
+ public:
+  explicit ResultCache(std::string dir);
+
+  /// Look up `key` and copy its stored artifacts to their filenames in
+  /// the current working directory. Returns false — without partial
+  /// writes visible as a success — if the entry is absent or any object
+  /// is missing/unreadable. A hit touches the entry's mtime (prune
+  /// recency).
+  bool restore(const CacheKey& key);
+
+  /// Store the named files (paths relative to the working directory)
+  /// under `key`. Returns false on I/O failure; a failed store never
+  /// leaves a referenced-but-missing object behind.
+  bool store(const CacheKey& key, const std::vector<std::string>& paths);
+
+  struct Stats {
+    std::size_t entries = 0;
+    std::size_t objects = 0;
+    std::uint64_t object_bytes = 0;
+  };
+  Stats stats() const;
+
+  /// Keep the `keep` most-recently-used entries, drop the rest, then
+  /// delete objects no surviving entry references. Returns the number
+  /// of entries removed.
+  std::size_t prune(std::size_t keep);
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string entry_path(const std::string& keyhash) const;
+  std::string object_path(const std::string& sha) const;
+
+  std::string dir_;
+};
+
+}  // namespace emc::repro

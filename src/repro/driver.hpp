@@ -3,6 +3,9 @@
 //   emc_repro list
 //   emc_repro --all [flags]
 //   emc_repro run <figure>... [flags]        ("run" is optional sugar)
+//   emc_repro merge <partial>... [--refs DIR] [--check]
+//   emc_repro cache stats DIR
+//   emc_repro cache prune DIR --keep N
 //
 // Flags:
 //   --check                  byte-compare declared ref artifacts against
@@ -28,10 +31,28 @@
 //   --seed N                 override every figure's default seed.
 //   --refs DIR               reference directory (default: the source
 //                            tree's bench/refs, baked at configure time).
+//   --shard I/N --partial D  scale-out: run only trials t with
+//                            t % N == I and write a shard partial into
+//                            D instead of the final CSVs. The partition
+//                            is pure in (figure, seed, N) — `emc_repro
+//                            merge` over a complete shard set rebuilds
+//                            CSVs byte-identical to the single-process
+//                            run. Requires figures with a shard model.
+//   --trials N               override the replicated figures' trial
+//                            count (scale up/down without recompiling);
+//                            incompatible with --check.
+//   --cache DIR              content-addressed result cache: a run whose
+//                            (code version, figure, seed, mode, trials,
+//                            shard) key is stored restores artifacts
+//                            instead of simulating; misses store after
+//                            a clean run. The manifest records the
+//                            per-figure "cache" state (hit/stored/miss).
+//   --no-cache               look nothing up, store nothing.
 //
-// Exit codes: 0 = all ok; 1 = a run failed, a ref mismatched, or a
-// cross-check diverged; 2 = the invocation cannot verify what it was
-// asked to verify (unknown figure, missing ref file, bad flags).
+// Exit codes (shared contract, tools/cli_common.hpp): 0 = all ok; 1 = a
+// run failed, a ref mismatched, a cross-check diverged, or a merge
+// failed; 2 = the invocation cannot verify what it was asked to verify
+// (unknown figure, missing ref file, bad flags, vacuous combination).
 #pragma once
 
 #include <string>

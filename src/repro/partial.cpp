@@ -1,0 +1,421 @@
+#include "repro/partial.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/csv.hpp"
+
+namespace emc::repro {
+
+namespace {
+
+constexpr const char* kMagic = "emc-partial v1";
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : line) {
+    if (c == ',') {
+      out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(std::move(cur));
+  return out;
+}
+
+std::string join_csv(const std::vector<std::string>& cells) {
+  std::string out;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out += ',';
+    out += cells[i];
+  }
+  return out;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtoull(s.c_str(), &end, 10);
+  return end == s.c_str() + s.size();
+}
+
+/// Sequential reader over one partial: header, then rows, then trailer.
+class PartialReader {
+ public:
+  bool open(const std::string& path, std::string* error) {
+    path_ = path;
+    in_.open(path);
+    if (!in_) {
+      *error = path + ": cannot open";
+      return false;
+    }
+    std::string line;
+    if (!std::getline(in_, line) || line != kMagic) {
+      *error = path + ": not an emc-partial v1 file";
+      return false;
+    }
+    // Fixed header-field order (the writer emits it; free-form parsing
+    // would let truncated headers slip through).
+    std::uint64_t u = 0;
+    if (!field("figure", &line)) return fail(error);
+    header_.figure = line;
+    if (!field("shard", &line)) return fail(error);
+    const std::size_t slash = line.find('/');
+    std::uint64_t si = 0, sn = 0;
+    if (slash == std::string::npos ||
+        !parse_u64(line.substr(0, slash), &si) ||
+        !parse_u64(line.substr(slash + 1), &sn) || sn == 0 || si >= sn) {
+      *error = path_ + ": malformed shard line \"" + line + "\"";
+      return false;
+    }
+    header_.shard_index = static_cast<std::size_t>(si);
+    header_.shard_count = static_cast<std::size_t>(sn);
+    if (!field("seed", &line) || !parse_u64(line, &header_.seed)) {
+      return fail(error);
+    }
+    if (!field("mode", &line) || (line != "full" && line != "smoke")) {
+      return fail(error);
+    }
+    header_.smoke = line == "smoke";
+    if (!field("trials_override", &line) ||
+        !parse_u64(line, &header_.trials_override)) {
+      return fail(error);
+    }
+    if (!field("scenarios", &line) || !parse_u64(line, &u)) {
+      return fail(error);
+    }
+    header_.total_scenarios = static_cast<std::size_t>(u);
+    if (!field("schema", &line) || line.empty()) return fail(error);
+    header_.schema = split_csv_line(line);
+    return true;
+  }
+
+  const PartialHeader& header() const { return header_; }
+  const std::string& path() const { return path_; }
+
+  /// Advance to the next data row; false once the trailer is reached.
+  /// Enforces ascending global indices within the file.
+  bool next_row(std::string* error) {
+    std::string line;
+    if (!std::getline(in_, line)) {
+      *error = path_ + ": truncated (no trailer)";
+      errored_ = true;
+      return false;
+    }
+    if (line.rfind("row ", 0) != 0) {
+      // Trailer: stats / rows / end.
+      if (!parse_trailer(line, error)) errored_ = true;
+      done_ = true;
+      return false;
+    }
+    const std::string body = line.substr(4);
+    const std::size_t comma = body.find(',');
+    std::uint64_t g = 0;
+    if (comma == std::string::npos || !parse_u64(body.substr(0, comma), &g)) {
+      *error = path_ + ": malformed row line";
+      errored_ = true;
+      return false;
+    }
+    if (rows_ > 0 && g < gidx_) {
+      *error = path_ + ": global indices out of order";
+      errored_ = true;
+      return false;
+    }
+    if (g >= header_.total_scenarios) {
+      *error = path_ + ": global index " + std::to_string(g) +
+               " out of range (scenarios " +
+               std::to_string(header_.total_scenarios) + ")";
+      errored_ = true;
+      return false;
+    }
+    gidx_ = static_cast<std::size_t>(g);
+    cells_ = body.substr(comma + 1);
+    ++rows_;
+    return true;
+  }
+
+  std::size_t gidx() const { return gidx_; }
+  const std::string& cells() const { return cells_; }
+  bool done() const { return done_; }
+  bool errored() const { return errored_; }
+  std::size_t rows() const { return rows_; }
+  const sim::Kernel::Stats& stats() const { return stats_; }
+
+ private:
+  bool field(const char* name, std::string* value) {
+    std::string line;
+    if (!std::getline(in_, line)) return false;
+    const std::string prefix = std::string(name) + " ";
+    if (line.rfind(prefix, 0) != 0) return false;
+    *value = line.substr(prefix.size());
+    return true;
+  }
+
+  bool fail(std::string* error) {
+    *error = path_ + ": malformed or truncated header";
+    return false;
+  }
+
+  bool parse_trailer(const std::string& stats_line, std::string* error) {
+    std::istringstream ss(stats_line);
+    std::string tag;
+    ss >> tag;
+    if (tag != "stats") {
+      *error = path_ + ": expected stats trailer";
+      return false;
+    }
+    std::uint64_t ex = 0, sc = 0, pq = 0, slab = 0;
+    if (!(ss >> ex >> sc >> pq >> slab)) {
+      *error = path_ + ": malformed stats trailer";
+      return false;
+    }
+    stats_.events_executed = ex;
+    stats_.events_scheduled = sc;
+    stats_.peak_queue_depth = static_cast<std::size_t>(pq);
+    stats_.slab_capacity = static_cast<std::size_t>(slab);
+    std::string line;
+    std::uint64_t declared = 0;
+    if (!std::getline(in_, line) || line.rfind("rows ", 0) != 0 ||
+        !parse_u64(line.substr(5), &declared) || declared != rows_) {
+      *error = path_ + ": row count mismatch (trailer vs data)";
+      return false;
+    }
+    if (!std::getline(in_, line) || line != "end") {
+      *error = path_ + ": missing end marker (truncated write?)";
+      return false;
+    }
+    return true;
+  }
+
+  std::string path_;
+  std::ifstream in_;
+  PartialHeader header_;
+  std::size_t gidx_ = 0;
+  std::string cells_;
+  std::size_t rows_ = 0;
+  bool done_ = false;
+  bool errored_ = false;
+  sim::Kernel::Stats stats_;
+};
+
+/// The identity fields two partials of one merge must share.
+bool same_identity(const PartialHeader& a, const PartialHeader& b,
+                   std::string* why) {
+  if (a.figure != b.figure) {
+    *why = "figure (" + a.figure + " vs " + b.figure + ")";
+  } else if (a.shard_count != b.shard_count) {
+    *why = "shard count";
+  } else if (a.seed != b.seed) {
+    *why = "seed";
+  } else if (a.smoke != b.smoke) {
+    *why = "mode";
+  } else if (a.trials_override != b.trials_override) {
+    *why = "trials override";
+  } else if (a.total_scenarios != b.total_scenarios) {
+    *why = "scenario count";
+  } else if (a.schema != b.schema) {
+    *why = "schema";
+  } else {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+PartialHeader make_partial_header(const RunContext& ctx, const char* figure,
+                                  const std::vector<std::string>& schema,
+                                  std::size_t total_scenarios) {
+  PartialHeader h;
+  h.figure = figure;
+  h.shard_index = ctx.shard_index;
+  h.shard_count = ctx.shard_count;
+  h.seed = ctx.seed;
+  h.smoke = ctx.smoke();
+  h.trials_override = ctx.trials_override;
+  h.total_scenarios = total_scenarios;
+  h.schema = schema;
+  return h;
+}
+
+PartialWriter::PartialWriter(const std::string& path,
+                             const PartialHeader& header)
+    : path_(path), out_(path) {
+  if (!out_) {
+    throw std::runtime_error("PartialWriter: cannot write " + path);
+  }
+  out_ << kMagic << "\n";
+  out_ << "figure " << header.figure << "\n";
+  out_ << "shard " << header.shard_index << "/" << header.shard_count << "\n";
+  out_ << "seed " << header.seed << "\n";
+  out_ << "mode " << (header.smoke ? "smoke" : "full") << "\n";
+  out_ << "trials_override " << header.trials_override << "\n";
+  out_ << "scenarios " << header.total_scenarios << "\n";
+  out_ << "schema " << join_csv(header.schema) << "\n";
+  if (!out_) {
+    throw std::runtime_error("PartialWriter: write failed on " + path);
+  }
+}
+
+PartialWriter::~PartialWriter() = default;
+
+void PartialWriter::row(std::size_t global_index,
+                        const std::vector<std::string>& cells) {
+  out_ << "row " << global_index << "," << join_csv(cells) << "\n";
+  ++rows_;
+}
+
+void PartialWriter::finish(const sim::Kernel::Stats& stats) {
+  if (finished_) {
+    throw std::logic_error("PartialWriter: finish() called twice");
+  }
+  finished_ = true;
+  out_ << "stats " << stats.events_executed << " " << stats.events_scheduled
+       << " " << stats.peak_queue_depth << " " << stats.slab_capacity << "\n";
+  out_ << "rows " << rows_ << "\n";
+  out_ << "end\n";
+  out_.close();
+  if (!out_) {
+    throw std::runtime_error("PartialWriter: write failed on " + path_);
+  }
+}
+
+bool read_partial_info(const std::string& path, PartialInfo* info,
+                       std::string* error) {
+  PartialReader r;
+  if (!r.open(path, error)) return false;
+  while (r.next_row(error)) {
+  }
+  if (r.errored()) return false;
+  info->header = r.header();
+  info->stats = r.stats();
+  info->rows = r.rows();
+  return true;
+}
+
+MergeResult merge_partials(const std::vector<std::string>& paths,
+                           const std::string& trials_csv,
+                           const std::string& aggregate_csv,
+                           const analysis::Aggregate& aggregate) {
+  MergeResult res;
+  if (paths.empty()) {
+    res.error = "no partial files given";
+    return res;
+  }
+
+  std::vector<std::unique_ptr<PartialReader>> readers;
+  for (const auto& p : paths) {
+    auto r = std::make_unique<PartialReader>();
+    if (!r->open(p, &res.error)) return res;
+    readers.push_back(std::move(r));
+  }
+
+  // Identity + cover validation: one file per shard, all n present.
+  const PartialHeader& first = readers.front()->header();
+  if (readers.size() != first.shard_count) {
+    res.error = "incomplete shard set: " + std::to_string(readers.size()) +
+                " file(s) for " + std::to_string(first.shard_count) +
+                " shard(s)";
+    return res;
+  }
+  std::vector<bool> seen(first.shard_count, false);
+  for (const auto& r : readers) {
+    std::string why;
+    if (!same_identity(first, r->header(), &why)) {
+      res.error = r->path() + ": " + why + " differs from " +
+                  readers.front()->path();
+      return res;
+    }
+    if (seen[r->header().shard_index]) {
+      res.error = "duplicate shard " +
+                  std::to_string(r->header().shard_index) + "/" +
+                  std::to_string(first.shard_count);
+      return res;
+    }
+    seen[r->header().shard_index] = true;
+  }
+
+  res.header = first;
+  res.header.shard_index = 0;
+
+  // K-way merge by global index, streaming into the trials CSV and the
+  // aggregate sink; no shard's rows are ever fully resident.
+  analysis::CsvStream trials_out(trials_csv, first.schema);
+  if (!trials_out.ok()) {
+    res.error = "cannot write " + trials_csv;
+    return res;
+  }
+  analysis::Aggregate::Sink sink = aggregate.sink(first.schema);
+
+  // Prime every reader.
+  std::string error;
+  std::vector<bool> alive(readers.size(), false);
+  for (std::size_t i = 0; i < readers.size(); ++i) {
+    alive[i] = readers[i]->next_row(&error);
+    if (readers[i]->errored()) {
+      res.error = error;
+      return res;
+    }
+  }
+
+  std::size_t last_g = 0;
+  bool any = false;
+  for (;;) {
+    std::size_t best = readers.size();
+    for (std::size_t i = 0; i < readers.size(); ++i) {
+      if (alive[i] &&
+          (best == readers.size() || readers[i]->gidx() < readers[best]->gidx())) {
+        best = i;
+      }
+    }
+    if (best == readers.size()) break;  // all drained
+    // The merged sequence must be strictly increasing: per-file rows are
+    // non-decreasing and shards own disjoint trial slices, so a repeat
+    // means the partition was not disjoint — refuse rather than silently
+    // double-count.
+    if (any && readers[best]->gidx() <= last_g) {
+      res.error = "duplicate global index " + std::to_string(last_g) +
+                  " across shards";
+      return res;
+    }
+    last_g = readers[best]->gidx();
+    any = true;
+    const std::vector<std::string> cells =
+        split_csv_line(readers[best]->cells());
+    if (cells.size() != first.schema.size()) {
+      res.error = readers[best]->path() + ": row width " +
+                  std::to_string(cells.size()) + " != schema width " +
+                  std::to_string(first.schema.size());
+      return res;
+    }
+    trials_out.row(cells);
+    sink.consume(cells);
+    ++res.rows;
+    alive[best] = readers[best]->next_row(&error);
+    if (readers[best]->errored()) {
+      res.error = error;
+      return res;
+    }
+  }
+
+  for (const auto& r : readers) res.stats += r->stats();
+
+  if (!trials_out.close()) {
+    res.error = "write failed on " + trials_csv;
+    return res;
+  }
+  if (!sink.finish().write_csv(aggregate_csv)) {
+    res.error = "write failed on " + aggregate_csv;
+    return res;
+  }
+  res.ok = true;
+  return res;
+}
+
+}  // namespace emc::repro

@@ -1,0 +1,118 @@
+// Shard partial files — the wire format of `emc_repro run --shard i/n
+// --partial DIR` and `emc_repro merge`.
+//
+// A sharded figure run streams every row it produces into one partial
+// file instead of writing its final CSVs. The format is line-oriented
+// text, self-describing and order-preserving:
+//
+//   emc-partial v1
+//   figure fig_mc_yield
+//   shard 0/2
+//   seed 2026
+//   mode full                      (or: smoke)
+//   trials_override 0
+//   scenarios 1860                 (global count of the unsharded run)
+//   schema vdd_V,trial,path_ratio,...
+//   row 0,0.14,0,1.016,...         (global scenario index, then cells)
+//   row 2,0.14,2,0.9911,...
+//   ...
+//   stats 12345 12345 17 64        (kernel stats, see PartialStats)
+//   rows 930
+//   end                            (truncation guard)
+//
+// Rows appear in ascending global-index order (run_streaming delivers
+// them that way), each shard owns a disjoint trial slice (t % n == i),
+// and the index is pure in (figure, seed, n) — so a k-way merge of a
+// complete shard set by global index reconstructs the unsharded trial
+// CSV byte-identically, and re-reducing the merged stream through the
+// figure's registered Aggregate reconstructs the aggregate CSV
+// byte-identically too. merge_partials() does exactly that, streaming:
+// no shard's rows are ever fully resident.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/aggregate.hpp"
+#include "repro/registry.hpp"
+#include "sim/kernel.hpp"
+
+namespace emc::repro {
+
+/// Identity of one partial: everything that must agree across a merged
+/// shard set (plus the shard slot itself).
+struct PartialHeader {
+  std::string figure;
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  std::uint64_t seed = 0;
+  bool smoke = false;
+  std::uint64_t trials_override = 0;
+  std::size_t total_scenarios = 0;
+  std::vector<std::string> schema;
+};
+
+/// Header for this run, filled from the driver's RunContext.
+PartialHeader make_partial_header(const RunContext& ctx, const char* figure,
+                                  const std::vector<std::string>& schema,
+                                  std::size_t total_scenarios);
+
+/// Streaming writer: header on open, row() per produced row (fed from
+/// Workbench::run_streaming's sink), finish() writes the trailer.
+/// Throws std::runtime_error on I/O failure — a truncated partial must
+/// fail the run, not the merge.
+class PartialWriter {
+ public:
+  PartialWriter(const std::string& path, const PartialHeader& header);
+  ~PartialWriter();
+  PartialWriter(const PartialWriter&) = delete;
+  PartialWriter& operator=(const PartialWriter&) = delete;
+
+  void row(std::size_t global_index, const std::vector<std::string>& cells);
+  std::size_t rows() const { return rows_; }
+
+  /// Write the trailer (kernel stats + row count + end marker) and
+  /// close. Must be called exactly once.
+  void finish(const sim::Kernel::Stats& stats);
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t rows_ = 0;
+  bool finished_ = false;
+};
+
+/// Header + trailer of one partial (rows are not retained).
+struct PartialInfo {
+  PartialHeader header;
+  sim::Kernel::Stats stats;
+  std::size_t rows = 0;
+};
+
+/// Parse and validate one partial's header and trailer. Returns false
+/// (with a message in *error) on a malformed or truncated file.
+bool read_partial_info(const std::string& path, PartialInfo* info,
+                       std::string* error);
+
+/// Outcome of merge_partials.
+struct MergeResult {
+  bool ok = false;
+  std::string error;        // set when !ok
+  PartialHeader header;     // the shared identity (shard fields = 0/n)
+  std::size_t rows = 0;     // total merged data rows
+  sim::Kernel::Stats stats; // summed across shards
+};
+
+/// Validate a shard set (same figure/seed/mode/override/schema, one
+/// file per shard, complete 0..n-1 cover, no duplicate indices) and
+/// k-way merge it by global scenario index: the merged rows stream into
+/// `trials_csv` and through `aggregate`'s sink into `aggregate_csv`,
+/// both byte-identical to the unsharded run's artifacts.
+MergeResult merge_partials(const std::vector<std::string>& paths,
+                           const std::string& trials_csv,
+                           const std::string& aggregate_csv,
+                           const analysis::Aggregate& aggregate);
+
+}  // namespace emc::repro

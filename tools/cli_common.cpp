@@ -1,0 +1,66 @@
+#include "tools/cli_common.hpp"
+
+#include <cstdio>
+
+#include "repro/registry.hpp"
+
+namespace emc::cli {
+
+const char* kExitCodeHelp =
+    "exit codes: 0 = everything selected was checked and clean; 1 = active\n"
+    "findings or failures; 2 = usage error or vacuous run (nothing checked)\n";
+
+std::vector<std::string> split_list(const std::string& arg) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : arg) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+int select_figures(const char* tool, bool all,
+                   const std::vector<std::string>& names,
+                   std::vector<const repro::Figure*>* out) {
+  if (all) {
+    *out = repro::Registry::instance().figures();
+  } else {
+    for (const auto& n : names) {
+      const auto* f = repro::Registry::instance().find(n);
+      if (f == nullptr) {
+        std::fprintf(stderr, "%s: unknown figure \"%s\" (try list)\n", tool,
+                     n.c_str());
+        return 2;
+      }
+      out->push_back(f);
+    }
+  }
+  if (out->empty()) {
+    std::fprintf(stderr, "%s: nothing registered\n", tool);
+    return 2;
+  }
+  return 0;
+}
+
+int list_figures(const AnnotateFn& annotate, const ExtraFn& extra) {
+  const auto figs = repro::Registry::instance().figures();
+  std::printf("%zu registered figure(s):\n", figs.size());
+  for (const auto* f : figs) {
+    std::printf("  %-28s %s\n", f->name.c_str(), annotate(*f).c_str());
+    if (extra) extra(*f);
+  }
+  return 0;
+}
+
+int exit_code(bool any_findings, bool any_vacuous) {
+  if (any_findings) return 1;
+  return any_vacuous ? 2 : 0;
+}
+
+}  // namespace emc::cli

@@ -10,9 +10,9 @@
 //   emc_lint <figure>... [--json]
 //   emc_lint ... --only W001,C001   keep only the listed rules
 //
-// Exit codes: 0 = everything checked and clean; 1 = findings at warning
-// severity or above; 2 = usage error or a selected figure has no lint
-// model (refusing to pass vacuously).
+// Selection, listing and the 0/1/2 exit contract are the shared CLI
+// surface (tools/cli_common.hpp): findings exit 1, a selected figure
+// without a lint model exits 2 (refusing to pass vacuously).
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -20,6 +20,7 @@
 #include "lint/lint.hpp"
 #include "lint/session.hpp"
 #include "repro/registry.hpp"
+#include "tools/cli_common.hpp"
 
 namespace {
 
@@ -29,23 +30,8 @@ void print_usage() {
       "  emc_lint list\n"
       "  emc_lint --all [--json] [--only RULE,...]\n"
       "  emc_lint <figure>... [--json] [--only RULE,...]\n"
-      "exit codes: 0 = everything checked and clean; 1 = active findings;\n"
-      "2 = usage error or a selected figure has no lint model\n");
-}
-
-std::vector<std::string> split_rules(const std::string& arg) {
-  std::vector<std::string> out;
-  std::string cur;
-  for (char c : arg) {
-    if (c == ',') {
-      if (!cur.empty()) out.push_back(cur);
-      cur.clear();
-    } else {
-      cur.push_back(c);
-    }
-  }
-  if (!cur.empty()) out.push_back(cur);
-  return out;
+      "%s",
+      emc::cli::kExitCodeHelp);
 }
 
 int print_rules() {
@@ -61,16 +47,6 @@ int print_rules() {
   return 0;
 }
 
-int list_figures() {
-  const auto figs = emc::repro::Registry::instance().figures();
-  std::printf("%zu registered figure(s):\n", figs.size());
-  for (const auto* f : figs) {
-    std::printf("  %-28s %s\n", f->name.c_str(),
-                f->lint != nullptr ? "[lint model]" : "(no lint model)");
-  }
-  return 0;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -80,7 +56,12 @@ int main(int argc, char** argv) {
   std::vector<std::string> names;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a == "list") return list_figures();
+    if (a == "list") {
+      return emc::cli::list_figures([](const emc::repro::Figure& f) {
+        return std::string(f.lint != nullptr ? "[lint model]"
+                                             : "(no lint model)");
+      });
+    }
     if (a == "--rules") return print_rules();
     if (a == "--all") {
       all = true;
@@ -91,7 +72,7 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "emc_lint: --only needs RULE[,RULE...]\n");
         return 2;
       }
-      only = split_rules(argv[++i]);
+      only = emc::cli::split_list(argv[++i]);
       if (only.empty()) {
         std::fprintf(stderr, "emc_lint: --only needs RULE[,RULE...]\n");
         return 2;
@@ -108,28 +89,13 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::vector<const emc::repro::Figure*> selected;
-  if (all) {
-    selected = emc::repro::Registry::instance().figures();
-  } else {
-    if (names.empty()) {
-      print_usage();
-      return 2;
-    }
-    for (const auto& n : names) {
-      const auto* f = emc::repro::Registry::instance().find(n);
-      if (f == nullptr) {
-        std::fprintf(stderr, "emc_lint: unknown figure \"%s\" (try list)\n",
-                     n.c_str());
-        return 2;
-      }
-      selected.push_back(f);
-    }
-  }
-  if (selected.empty()) {
-    std::fprintf(stderr, "emc_lint: nothing registered\n");
+  if (!all && names.empty()) {
+    print_usage();
     return 2;
   }
+  std::vector<const emc::repro::Figure*> selected;
+  const int sel = emc::cli::select_figures("emc_lint", all, names, &selected);
+  if (sel != 0) return sel;
 
   bool any_dirty = false;
   bool any_missing = false;
@@ -172,6 +138,5 @@ int main(int argc, char** argv) {
     json_out += "]}";
     std::printf("%s\n", json_out.c_str());
   }
-  if (any_dirty) return 1;
-  return any_missing ? 2 : 0;
+  return emc::cli::exit_code(any_dirty, any_missing);
 }

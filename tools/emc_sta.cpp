@@ -15,12 +15,10 @@
 //   emc_sta ... --only T001,T003   keep only the listed rules
 //   emc_sta ... --csv FILE      append every margin-vs-Vdd curve to FILE
 //
-// Exit codes (the same contract as emc_lint):
-//   0  everything checked and timing-clean
-//   1  findings at warning severity or above
-//   2  usage error, a selected figure has no model, or a checked circuit
-//      records bundles with no timing arcs behind them (a vacuous timing
-//      model must not read as closure)
+// Selection, listing and the 0/1/2 exit contract are the shared CLI
+// surface (tools/cli_common.hpp): findings exit 1; a missing model or a
+// vacuous one (bundles recorded with no timing arcs behind them) exits 2
+// — a vacuous timing model must not read as closure.
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -29,6 +27,7 @@
 #include "lint/lint.hpp"
 #include "repro/registry.hpp"
 #include "sta/session.hpp"
+#include "tools/cli_common.hpp"
 
 namespace {
 
@@ -38,8 +37,8 @@ void print_usage() {
       "  emc_sta list\n"
       "  emc_sta --all [--json] [--only RULE,...] [--csv FILE]\n"
       "  emc_sta <figure>... [--json] [--only RULE,...] [--csv FILE]\n"
-      "exit codes: 0 = timing-clean; 1 = active findings; 2 = usage error,\n"
-      "missing model, or vacuous model (bundles without timing arcs)\n");
+      "%s",
+      emc::cli::kExitCodeHelp);
 }
 
 int print_rules() {
@@ -55,31 +54,6 @@ int print_rules() {
   return 0;
 }
 
-int list_figures() {
-  const auto figs = emc::repro::Registry::instance().figures();
-  std::printf("%zu registered figure(s):\n", figs.size());
-  for (const auto* f : figs) {
-    std::printf("  %-28s %s\n", f->name.c_str(),
-                f->lint != nullptr ? "[timing model]" : "(no timing model)");
-  }
-  return 0;
-}
-
-std::vector<std::string> split_rules(const std::string& arg) {
-  std::vector<std::string> out;
-  std::string cur;
-  for (char c : arg) {
-    if (c == ',') {
-      if (!cur.empty()) out.push_back(cur);
-      cur.clear();
-    } else {
-      cur.push_back(c);
-    }
-  }
-  if (!cur.empty()) out.push_back(cur);
-  return out;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -90,7 +64,12 @@ int main(int argc, char** argv) {
   std::vector<std::string> names;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a == "list") return list_figures();
+    if (a == "list") {
+      return emc::cli::list_figures([](const emc::repro::Figure& f) {
+        return std::string(f.lint != nullptr ? "[timing model]"
+                                             : "(no timing model)");
+      });
+    }
     if (a == "--rules") return print_rules();
     if (a == "--all") {
       all = true;
@@ -101,7 +80,7 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "emc_sta: --only needs RULE[,RULE...]\n");
         return 2;
       }
-      only = split_rules(argv[++i]);
+      only = emc::cli::split_list(argv[++i]);
       if (only.empty()) {
         std::fprintf(stderr, "emc_sta: --only needs RULE[,RULE...]\n");
         return 2;
@@ -124,28 +103,13 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::vector<const emc::repro::Figure*> selected;
-  if (all) {
-    selected = emc::repro::Registry::instance().figures();
-  } else {
-    if (names.empty()) {
-      print_usage();
-      return 2;
-    }
-    for (const auto& n : names) {
-      const auto* f = emc::repro::Registry::instance().find(n);
-      if (f == nullptr) {
-        std::fprintf(stderr, "emc_sta: unknown figure \"%s\" (try list)\n",
-                     n.c_str());
-        return 2;
-      }
-      selected.push_back(f);
-    }
-  }
-  if (selected.empty()) {
-    std::fprintf(stderr, "emc_sta: nothing registered\n");
+  if (!all && names.empty()) {
+    print_usage();
     return 2;
   }
+  std::vector<const emc::repro::Figure*> selected;
+  const int sel = emc::cli::select_figures("emc_sta", all, names, &selected);
+  if (sel != 0) return sel;
 
   std::ofstream csv;
   if (!csv_path.empty()) {
@@ -220,6 +184,5 @@ int main(int argc, char** argv) {
     json_out += "]}";
     std::printf("%s\n", json_out.c_str());
   }
-  if (any_dirty) return 1;
-  return (any_missing || any_vacuous) ? 2 : 0;
+  return emc::cli::exit_code(any_dirty, any_missing || any_vacuous);
 }
